@@ -1,0 +1,114 @@
+// Command bench regenerates the paper's evaluation figures (§4) against
+// the Go reimplementation: throughput sweeps (Figure 1), tail latency
+// (Figure 2), read round-trip distributions (Figure 3), and the
+// node-failure timeline (Figure 4).
+//
+// The default scale finishes in minutes; raise -duration and -clients to
+// approach the paper's 10-minute, 4096-client runs.
+//
+// Usage:
+//
+//	bench -figure all
+//	bench -figure 1 -duration 10s -clients 1,8,64,512,4096
+//	bench -figure 3 -batch 5ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"crdtsmr/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		figure   = flag.String("figure", "all", "figure to regenerate: 1, 2, 3, 4, or all")
+		duration = flag.Duration("duration", 2*time.Second, "measurement duration per data point (paper: 10m)")
+		warmup   = flag.Duration("warmup", 300*time.Millisecond, "warm-up excluded from statistics")
+		clients  = flag.String("clients", "1,8,64,256", "comma-separated client sweep (paper: 1..4096)")
+		batch    = flag.Duration("batch", 5*time.Millisecond, "batching window for the batched variant (paper: 5ms)")
+		replicas = flag.Int("replicas", 3, "number of replicas (paper: 3)")
+		minDelay = flag.Duration("min-delay", 50*time.Microsecond, "emulated per-message network delay, lower bound")
+		maxDelay = flag.Duration("max-delay", 200*time.Microsecond, "emulated per-message network delay, upper bound")
+		seed     = flag.Int64("seed", 1, "network RNG seed")
+	)
+	flag.Parse()
+
+	sweep, err := parseClients(*clients)
+	if err != nil {
+		return err
+	}
+	scale := bench.Scale{
+		Duration: *duration,
+		Warmup:   *warmup,
+		Clients:  sweep,
+		Batch:    *batch,
+		Replicas: *replicas,
+		Net:      bench.NetProfile{MinDelay: *minDelay, MaxDelay: *maxDelay, Seed: *seed},
+	}
+
+	out := os.Stdout
+	runOne := func(fig string) error {
+		switch fig {
+		case "1":
+			return bench.Figure1(out, scale)
+		case "2":
+			return bench.Figure2(out, scale)
+		case "3":
+			_, err := bench.Figure3(out, scale, filterAtMost(sweep, 512))
+			return err
+		case "4":
+			return bench.Figure4(out, scale, 64)
+		default:
+			return fmt.Errorf("unknown figure %q", fig)
+		}
+	}
+
+	if *figure == "all" {
+		for _, fig := range []string{"1", "2", "3", "4"} {
+			if err := runOne(fig); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		}
+		return nil
+	}
+	return runOne(*figure)
+}
+
+func parseClients(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad client count %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func filterAtMost(sweep []int, max int) []int {
+	var out []int
+	for _, n := range sweep {
+		if n <= max {
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{16}
+	}
+	return out
+}

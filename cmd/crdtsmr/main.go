@@ -1,0 +1,203 @@
+// Command crdtsmr runs a replica of a linearizable replicated G-Counter
+// over TCP, or submits client operations to one.
+//
+// Start three replicas (separate terminals or machines):
+//
+//	crdtsmr serve -id n1 -listen 127.0.0.1:7701 -peers n1=127.0.0.1:7701,n2=127.0.0.1:7702,n3=127.0.0.1:7703
+//	crdtsmr serve -id n2 -listen 127.0.0.1:7702 -peers ...
+//	crdtsmr serve -id n3 -listen 127.0.0.1:7703 -peers ...
+//
+// Each replica also exposes a tiny line-oriented client port at
+// listen+1000: "inc <n>" and "get" commands:
+//
+//	crdtsmr inc -addr 127.0.0.1:8701 -n 5
+//	crdtsmr get -addr 127.0.0.1:8702
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"crdtsmr/internal/cluster"
+	"crdtsmr/internal/core"
+	"crdtsmr/internal/crdt"
+	"crdtsmr/internal/transport"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "serve":
+		err = serve(os.Args[2:])
+	case "inc", "get":
+		err = clientOp(os.Args[1], os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crdtsmr:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: crdtsmr serve|inc|get [flags]")
+	os.Exit(2)
+}
+
+func serve(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	id := fs.String("id", "", "replica ID (must appear in -peers)")
+	listen := fs.String("listen", "", "replica listen address (host:port)")
+	peersFlag := fs.String("peers", "", "comma-separated id=addr pairs for the full cluster")
+	batch := fs.Duration("batch", 0, "batching window (0 disables; paper used 5ms)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" || *listen == "" || *peersFlag == "" {
+		return fmt.Errorf("serve requires -id, -listen, and -peers")
+	}
+	peers := map[transport.NodeID]string{}
+	var members []transport.NodeID
+	for _, pair := range strings.Split(*peersFlag, ",") {
+		kv := strings.SplitN(strings.TrimSpace(pair), "=", 2)
+		if len(kv) != 2 {
+			return fmt.Errorf("bad peer %q", pair)
+		}
+		peers[transport.NodeID(kv[0])] = kv[1]
+		members = append(members, transport.NodeID(kv[0]))
+	}
+
+	node, err := cluster.NewNode(transport.NodeID(*id), cluster.Config{
+		Members:       members,
+		Initial:       crdt.NewGCounter(),
+		Options:       core.DefaultOptions(),
+		BatchInterval: *batch,
+	}, func(nid transport.NodeID, h transport.Handler) transport.Conn {
+		remote := map[transport.NodeID]string{}
+		for p, a := range peers {
+			if p != nid {
+				remote[p] = a
+			}
+		}
+		t, err := transport.NewTCP(nid, *listen, remote, h)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crdtsmr:", err)
+			os.Exit(1)
+		}
+		return t
+	})
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+
+	clientAddr, err := clientPort(*listen)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", clientAddr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	fmt.Printf("replica %s up: protocol %s, clients %s\n", *id, *listen, clientAddr)
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go handleClient(conn, node, *id)
+	}
+}
+
+func handleClient(conn net.Conn, node *cluster.Node, id string) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		switch fields[0] {
+		case "inc":
+			n := uint64(1)
+			if len(fields) > 1 {
+				if v, err := strconv.ParseUint(fields[1], 10, 64); err == nil {
+					n = v
+				}
+			}
+			_, err := node.Update(ctx, func(s crdt.State) (crdt.State, error) {
+				return s.(*crdt.GCounter).Inc(id, n), nil
+			})
+			if err != nil {
+				fmt.Fprintln(conn, "err", err)
+			} else {
+				fmt.Fprintln(conn, "ok")
+			}
+		case "get":
+			s, stats, err := node.Query(ctx)
+			if err != nil {
+				fmt.Fprintln(conn, "err", err)
+			} else {
+				fmt.Fprintf(conn, "%d rtts=%d path=%v\n", s.(*crdt.GCounter).Value(), stats.RoundTrips, stats.Path)
+			}
+		default:
+			fmt.Fprintln(conn, "err unknown command")
+		}
+		cancel()
+	}
+}
+
+func clientOp(op string, args []string) error {
+	fs := flag.NewFlagSet(op, flag.ExitOnError)
+	addr := fs.String("addr", "", "replica client address (replica port + 1000)")
+	n := fs.Uint64("n", 1, "increment amount (inc only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		return fmt.Errorf("%s requires -addr", op)
+	}
+	conn, err := net.DialTimeout("tcp", *addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if op == "inc" {
+		fmt.Fprintf(conn, "inc %d\n", *n)
+	} else {
+		fmt.Fprintln(conn, "get")
+	}
+	reply, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return err
+	}
+	fmt.Print(reply)
+	return nil
+}
+
+// clientPort derives the client-facing port: protocol port + 1000.
+func clientPort(listen string) (string, error) {
+	host, port, err := net.SplitHostPort(listen)
+	if err != nil {
+		return "", err
+	}
+	p, err := strconv.Atoi(port)
+	if err != nil {
+		return "", err
+	}
+	return net.JoinHostPort(host, strconv.Itoa(p+1000)), nil
+}

@@ -1,0 +1,260 @@
+// Package crdtsmr is the public facade of the repository: linearizable
+// state machine replication of state-based CRDTs without logs or leaders,
+// implementing Skrzypczak, Schintke, Schütt (PODC 2019).
+//
+// A Cluster replicates one CRDT payload over N nodes. Updates complete in
+// a single round trip by broadcasting merged state; linearizable reads use
+// the paper's lattice-agreement query protocol (one round trip on a quiet
+// replica set, two under contention, with retries only on conflicts).
+// There is no leader to elect and no command log to truncate: each
+// replica's protocol state beyond the payload itself is a single round
+// counter.
+//
+// Quickstart:
+//
+//	cl, _ := crdtsmr.NewLocalCluster(3, crdtsmr.NewGCounter())
+//	defer cl.Close()
+//	ctr := cl.Counter("n1")             // handle bound to replica n1
+//	_ = ctr.Inc(ctx, 1)                 // linearizable update, 1 round trip
+//	v, _ := ctr.Value(ctx)              // linearizable read
+//
+// The packages under internal/ hold the implementation: the protocol
+// (internal/core), the CRDT library (internal/crdt), transports
+// (internal/transport), the runtime (internal/cluster), the Multi-Paxos
+// and Raft baselines, the correctness checker, and the benchmark harness.
+package crdtsmr
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"crdtsmr/internal/cluster"
+	"crdtsmr/internal/core"
+	"crdtsmr/internal/crdt"
+	"crdtsmr/internal/transport"
+)
+
+// Re-exported core types, so downstream code only imports this package.
+type (
+	// State is a CRDT payload: an element of a join semilattice.
+	State = crdt.State
+	// Update is a monotone update function applied at the local replica.
+	Update = crdt.Update
+	// NodeID identifies a replica.
+	NodeID = transport.NodeID
+	// QueryStats describes how a read was processed (round trips, path).
+	QueryStats = core.QueryStats
+	// GCounter is the grow-only counter of the paper's Algorithm 1.
+	GCounter = crdt.GCounter
+	// PNCounter supports increments and decrements.
+	PNCounter = crdt.PNCounter
+	// ORSet is an observed-remove (add-wins) set.
+	ORSet = crdt.ORSet
+	// LWWMap is a last-writer-wins map.
+	LWWMap = crdt.LWWMap
+)
+
+// Constructors for the common payloads.
+var (
+	// NewGCounter returns a zero grow-only counter.
+	NewGCounter = crdt.NewGCounter
+	// NewPNCounter returns a zero increment/decrement counter.
+	NewPNCounter = crdt.NewPNCounter
+	// NewORSet returns an empty observed-remove set.
+	NewORSet = crdt.NewORSet
+	// NewLWWMap returns an empty last-writer-wins map.
+	NewLWWMap = crdt.NewLWWMap
+)
+
+// Option configures a cluster.
+type Option func(*options)
+
+type options struct {
+	batch     time.Duration
+	meshDelay [2]time.Duration
+	seed      int64
+}
+
+// WithBatching enables per-replica command batching (§3.6 of the paper);
+// the paper's evaluation uses 5 ms windows.
+func WithBatching(window time.Duration) Option {
+	return func(o *options) { o.batch = window }
+}
+
+// WithNetworkDelay emulates per-message network delay between replicas of
+// a local cluster.
+func WithNetworkDelay(min, max time.Duration) Option {
+	return func(o *options) { o.meshDelay = [2]time.Duration{min, max} }
+}
+
+// WithSeed fixes the emulated network's RNG seed.
+func WithSeed(seed int64) Option {
+	return func(o *options) { o.seed = seed }
+}
+
+// Cluster is a running replica group for one CRDT payload.
+type Cluster struct {
+	mesh  *transport.Mesh
+	inner *cluster.Cluster
+	ids   []NodeID
+}
+
+// NewLocalCluster starts n replicas in this process connected by an
+// emulated network, replicating the given initial payload. Replica IDs are
+// "n1".."nN".
+func NewLocalCluster(n int, initial State, opts ...Option) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("crdtsmr: need at least one replica, got %d", n)
+	}
+	var o options
+	o.seed = 1
+	for _, opt := range opts {
+		opt(&o)
+	}
+	meshOpts := []transport.MeshOption{transport.WithSeed(o.seed)}
+	if o.meshDelay[1] > 0 {
+		meshOpts = append(meshOpts, transport.WithDelay(o.meshDelay[0], o.meshDelay[1]))
+	}
+	mesh := transport.NewMesh(meshOpts...)
+	ids := make([]NodeID, n)
+	for i := range ids {
+		ids[i] = NodeID(fmt.Sprintf("n%d", i+1))
+	}
+	inner, err := cluster.New(mesh, cluster.Config{
+		Members:       ids,
+		Initial:       initial,
+		Options:       core.DefaultOptions(),
+		BatchInterval: o.batch,
+	})
+	if err != nil {
+		mesh.Close()
+		return nil, err
+	}
+	return &Cluster{mesh: mesh, inner: inner, ids: ids}, nil
+}
+
+// NodeIDs returns the replica IDs in order.
+func (c *Cluster) NodeIDs() []NodeID { return append([]NodeID(nil), c.ids...) }
+
+// Update applies a monotone update function at the named replica and waits
+// for it to be durable on a quorum (one round trip).
+func (c *Cluster) Update(ctx context.Context, at NodeID, fu Update) error {
+	node := c.inner.Node(at)
+	if node == nil {
+		return fmt.Errorf("crdtsmr: unknown replica %s", at)
+	}
+	_, err := node.Update(ctx, fu)
+	return err
+}
+
+// Query learns a linearizable state at the named replica.
+func (c *Cluster) Query(ctx context.Context, at NodeID) (State, QueryStats, error) {
+	node := c.inner.Node(at)
+	if node == nil {
+		return nil, QueryStats{}, fmt.Errorf("crdtsmr: unknown replica %s", at)
+	}
+	return node.Query(ctx)
+}
+
+// Crash simulates a crash of the named replica; its state is retained
+// (crash-recovery model).
+func (c *Cluster) Crash(id NodeID) { c.inner.Crash(id) }
+
+// Recover brings a crashed replica back.
+func (c *Cluster) Recover(id NodeID) { c.inner.Recover(id) }
+
+// Close stops every replica.
+func (c *Cluster) Close() {
+	c.inner.Close()
+	c.mesh.Close()
+}
+
+// Counter returns a typed handle for a replicated G-Counter payload, bound
+// to the given replica. All handle operations are linearizable.
+func (c *Cluster) Counter(at NodeID) *Counter {
+	return &Counter{c: c, at: at}
+}
+
+// Counter is a typed client for a replicated G-Counter.
+type Counter struct {
+	c  *Cluster
+	at NodeID
+}
+
+// Inc increments the counter by n.
+func (h *Counter) Inc(ctx context.Context, n uint64) error {
+	slot := string(h.at)
+	return h.c.Update(ctx, h.at, func(s State) (State, error) {
+		g, ok := s.(*GCounter)
+		if !ok {
+			return nil, fmt.Errorf("crdtsmr: payload is %T, not a G-Counter", s)
+		}
+		return g.Inc(slot, n), nil
+	})
+}
+
+// Value reads the counter.
+func (h *Counter) Value(ctx context.Context) (uint64, error) {
+	s, _, err := h.c.Query(ctx, h.at)
+	if err != nil {
+		return 0, err
+	}
+	g, ok := s.(*GCounter)
+	if !ok {
+		return 0, fmt.Errorf("crdtsmr: payload is %T, not a G-Counter", s)
+	}
+	return g.Value(), nil
+}
+
+// Set returns a typed handle for a replicated OR-Set payload bound to the
+// given replica. A Set handle is not safe for concurrent use; create one
+// handle per client goroutine.
+func (c *Cluster) Set(at NodeID) *Set {
+	return &Set{c: c, at: at}
+}
+
+// Set is a typed client for a replicated observed-remove set.
+type Set struct {
+	c   *Cluster
+	at  NodeID
+	seq uint64
+}
+
+// Add inserts an element (add-wins on concurrent removal).
+func (h *Set) Add(ctx context.Context, element string) error {
+	h.seq++
+	seq := h.seq
+	actor := string(h.at) + "/" + element
+	return h.c.Update(ctx, h.at, func(s State) (State, error) {
+		set, ok := s.(*ORSet)
+		if !ok {
+			return nil, fmt.Errorf("crdtsmr: payload is %T, not an OR-Set", s)
+		}
+		return set.Add(element, actor, seq), nil
+	})
+}
+
+// Remove deletes the element's observed additions.
+func (h *Set) Remove(ctx context.Context, element string) error {
+	return h.c.Update(ctx, h.at, func(s State) (State, error) {
+		set, ok := s.(*ORSet)
+		if !ok {
+			return nil, fmt.Errorf("crdtsmr: payload is %T, not an OR-Set", s)
+		}
+		return set.Remove(element), nil
+	})
+}
+
+// Elements reads the membership, linearizably.
+func (h *Set) Elements(ctx context.Context) ([]string, error) {
+	s, _, err := h.c.Query(ctx, h.at)
+	if err != nil {
+		return nil, err
+	}
+	set, ok := s.(*ORSet)
+	if !ok {
+		return nil, fmt.Errorf("crdtsmr: payload is %T, not an OR-Set", s)
+	}
+	return set.Elements(), nil
+}

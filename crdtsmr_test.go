@@ -1,0 +1,148 @@
+package crdtsmr
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestFacadeCounter(t *testing.T) {
+	cl, err := NewLocalCluster(3, NewGCounter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := testCtx(t)
+
+	a := cl.Counter("n1")
+	b := cl.Counter("n2")
+	if err := a.Inc(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Inc(ctx, 4); err != nil {
+		t.Fatal(err)
+	}
+	v, err := cl.Counter("n3").Value(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 7 {
+		t.Fatalf("value = %d, want 7", v)
+	}
+}
+
+func TestFacadeSet(t *testing.T) {
+	cl, err := NewLocalCluster(3, NewORSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := testCtx(t)
+
+	s1 := cl.Set("n1")
+	s2 := cl.Set("n2")
+	if err := s1.Add(ctx, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Add(ctx, "bob"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Remove(ctx, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Set("n3").Elements(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "bob" {
+		t.Fatalf("elements = %v, want [bob]", got)
+	}
+}
+
+func TestFacadeCrashRecover(t *testing.T) {
+	cl, err := NewLocalCluster(3, NewGCounter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := testCtx(t)
+
+	ctr := cl.Counter("n1")
+	if err := ctr.Inc(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	cl.Crash("n3")
+	if err := ctr.Inc(ctx, 1); err != nil {
+		t.Fatalf("update during minority crash: %v", err)
+	}
+	cl.Recover("n3")
+	v, err := cl.Counter("n3").Value(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 {
+		t.Fatalf("value after recovery = %d, want 2", v)
+	}
+}
+
+func TestFacadeTypeMismatch(t *testing.T) {
+	cl, err := NewLocalCluster(3, NewORSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := testCtx(t)
+	if err := cl.Counter("n1").Inc(ctx, 1); err == nil {
+		t.Fatal("counter handle on a set payload should fail")
+	}
+}
+
+func TestFacadeValidation(t *testing.T) {
+	if _, err := NewLocalCluster(0, NewGCounter()); err == nil {
+		t.Fatal("zero replicas accepted")
+	}
+	cl, err := NewLocalCluster(1, NewGCounter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := testCtx(t)
+	if err := cl.Update(ctx, "ghost", func(s State) (State, error) { return s, nil }); err == nil {
+		t.Fatal("unknown replica accepted")
+	}
+	if _, _, err := cl.Query(ctx, "ghost"); err == nil {
+		t.Fatal("unknown replica accepted for query")
+	}
+	if len(cl.NodeIDs()) != 1 {
+		t.Fatal("node IDs wrong")
+	}
+}
+
+func TestFacadeBatchingOption(t *testing.T) {
+	cl, err := NewLocalCluster(3, NewGCounter(), WithBatching(2*time.Millisecond), WithNetworkDelay(10*time.Microsecond, 50*time.Microsecond), WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := testCtx(t)
+	ctr := cl.Counter("n2")
+	for i := 0; i < 5; i++ {
+		if err := ctr.Inc(ctx, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := ctr.Value(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 5 {
+		t.Fatalf("value = %d, want 5", v)
+	}
+}

@@ -1,0 +1,87 @@
+// Membership: a linearizable observed-remove set (OR-Set).
+//
+// Feature-flag rollouts, access-control lists, and service registries all
+// need set semantics where grants and revocations from different sites
+// resolve deterministically (add-wins) AND reads are authoritative: after
+// a revocation completes, no subsequent read anywhere may still show the
+// revoked member. Plain CRDT replication gives the first property; this
+// repository's protocol adds the second.
+//
+//	go run ./examples/membership
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"crdtsmr"
+)
+
+func main() {
+	cl, err := crdtsmr.NewLocalCluster(3, crdtsmr.NewORSet())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+
+	// Admins at different sites manage the on-call roster.
+	berlin := cl.Set("n1")
+	tokyo := cl.Set("n2")
+	newyork := cl.Set("n3")
+
+	must(berlin.Add(ctx, "alice"))
+	must(tokyo.Add(ctx, "bob"))
+	must(newyork.Add(ctx, "carol"))
+
+	show(ctx, cl, "after three adds")
+
+	// Revocation: once Remove returns, *every* replica's reads agree.
+	must(tokyo.Remove(ctx, "alice"))
+	roster, err := berlin.Elements(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range roster {
+		if m == "alice" {
+			log.Fatal("alice visible after her revocation completed — linearizability violated")
+		}
+	}
+	show(ctx, cl, "after revoking alice (read at a different replica)")
+
+	// Crash tolerance: a minority failure does not interrupt service.
+	cl.Crash("n3")
+	must(berlin.Add(ctx, "dave"))
+	show(ctx, cl, "after adding dave with n3 crashed")
+
+	cl.Recover("n3")
+	roster, err = cl.Set("n3").Elements(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered n3 reads: %v\n", roster)
+}
+
+func show(ctx context.Context, cl *crdtsmr.Cluster, label string) {
+	for _, id := range cl.NodeIDs() {
+		if id == "n3" {
+			// n3 may be crashed in one step; read where possible only.
+			continue
+		}
+		got, err := cl.Set(id).Elements(ctx)
+		if err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		fmt.Printf("%-50s %s: %v\n", label, id, got)
+		label = ""
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

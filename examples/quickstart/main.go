@@ -1,0 +1,59 @@
+// Quickstart: a three-replica linearizable counter in a few lines.
+//
+// This is the paper's headline use case — an atomic counter, "a ubiquitous
+// primitive in distributed computing" that plain CRDTs cannot provide
+// because they only offer eventual consistency. Updates complete in one
+// round trip; reads are linearizable without a leader or a log.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"crdtsmr"
+)
+
+func main() {
+	cl, err := crdtsmr.NewLocalCluster(3, crdtsmr.NewGCounter())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// Three clients, each bound to a different replica — no leader, any
+	// replica accepts updates and reads.
+	c1 := cl.Counter("n1")
+	c2 := cl.Counter("n2")
+	c3 := cl.Counter("n3")
+
+	if err := c1.Inc(ctx, 1); err != nil {
+		log.Fatal(err)
+	}
+	if err := c2.Inc(ctx, 10); err != nil {
+		log.Fatal(err)
+	}
+	if err := c3.Inc(ctx, 100); err != nil {
+		log.Fatal(err)
+	}
+
+	// A linearizable read on any replica sees every completed increment.
+	v, err := c2.Value(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("counter = %d (want 111)\n", v)
+
+	// Inspect how the read was processed.
+	state, stats, err := cl.Query(ctx, "n1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read at n1: value=%d path=%v roundTrips=%d attempts=%d\n",
+		state.(*crdtsmr.GCounter).Value(), stats.Path, stats.RoundTrips, stats.Attempts)
+}

@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RunConfig parameterizes one closed-loop measurement.
+type RunConfig struct {
+	Clients      int
+	ReadFraction float64 // e.g. 0.95 for "95 % reads"
+	Duration     time.Duration
+	Warmup       time.Duration // excluded from statistics
+	Interval     time.Duration // aggregation interval (default 1 s, paper's setting)
+	Seed         int64
+
+	// FailAfter, when positive, crashes FailReplica that long into the
+	// measured window (Figure 4).
+	FailAfter   time.Duration
+	FailReplica int
+}
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// IntervalStat is one aggregation interval of the timeline (Figure 4).
+type IntervalStat struct {
+	Index     int
+	Ops       int
+	ReadP95   time.Duration
+	UpdateP95 time.Duration
+}
+
+// Result is one measurement.
+type Result struct {
+	System       string
+	Clients      int
+	ReadFraction float64
+	Ops          int
+	Errors       int
+	Elapsed      time.Duration
+
+	// Throughput is the median of per-interval rates (paper methodology).
+	Throughput float64
+	ReadLat    LatencyStats
+	UpdateLat  LatencyStats
+	ReadRTTs   RTTHistogram
+	Timeline   []IntervalStat
+}
+
+type clientRecorder struct {
+	readLat   []time.Duration
+	updateLat []time.Duration
+	rtts      RTTHistogram
+	errors    int
+	// per-sample interval tags for the timeline
+	readIv   []int
+	updateIv []int
+}
+
+// Run drives cfg.Clients closed-loop clients against the system and
+// aggregates the results. The system is left running (callers own Close).
+func Run(sys System, cfg RunConfig) Result {
+	cfg = cfg.withDefaults()
+	recorders := make([]*clientRecorder, cfg.Clients)
+	var wg sync.WaitGroup
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	start := time.Now()
+	measureFrom := start.Add(cfg.Warmup)
+	stopAt := start.Add(cfg.Warmup + cfg.Duration)
+
+	if cfg.FailAfter > 0 {
+		failTimer := time.AfterFunc(cfg.Warmup+cfg.FailAfter, func() { sys.Crash(cfg.FailReplica) })
+		defer failTimer.Stop()
+	}
+
+	for i := 0; i < cfg.Clients; i++ {
+		i := i
+		rec := &clientRecorder{rtts: make(RTTHistogram)}
+		recorders[i] = rec
+		cl := sys.Client(i)
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			redirects := 0
+			for {
+				now := time.Now()
+				if now.After(stopAt) {
+					return
+				}
+				isRead := rng.Float64() < cfg.ReadFraction
+				opStart := time.Now()
+				opCtx, opCancel := context.WithDeadline(ctx, stopAt.Add(5*time.Second))
+				var err error
+				var rtts int
+				if isRead {
+					_, rtts, err = cl.Read(opCtx)
+				} else {
+					err = cl.Inc(opCtx)
+				}
+				opCancel()
+				lat := time.Since(opStart)
+				if opStart.Before(measureFrom) {
+					continue
+				}
+				if err != nil {
+					rec.errors++
+					if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+						return
+					}
+					// Replica unavailable (e.g. crashed): reconnect to the
+					// next replica, as a production client library would,
+					// keeping the offered load constant (Figure 4).
+					redirects++
+					cl = sys.Client(i + redirects)
+					select {
+					case <-time.After(10 * time.Millisecond):
+					case <-ctx.Done():
+						return
+					}
+					continue
+				}
+				iv := int(opStart.Sub(measureFrom) / cfg.Interval)
+				if isRead {
+					rec.readLat = append(rec.readLat, lat)
+					rec.readIv = append(rec.readIv, iv)
+					if rtts > 0 {
+						rec.rtts[rtts]++
+					}
+				} else {
+					rec.updateLat = append(rec.updateLat, lat)
+					rec.updateIv = append(rec.updateIv, iv)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(measureFrom)
+
+	return aggregate(sys.Name(), cfg, recorders, elapsed)
+}
+
+func aggregate(name string, cfg RunConfig, recorders []*clientRecorder, elapsed time.Duration) Result {
+	res := Result{
+		System:       name,
+		Clients:      cfg.Clients,
+		ReadFraction: cfg.ReadFraction,
+		Elapsed:      elapsed,
+		ReadRTTs:     make(RTTHistogram),
+	}
+	var reads, updates []time.Duration
+	nIntervals := int(cfg.Duration/cfg.Interval) + 1
+	perInterval := make([]int, nIntervals)
+	ivReads := make([][]time.Duration, nIntervals)
+	ivUpdates := make([][]time.Duration, nIntervals)
+
+	for _, rec := range recorders {
+		res.Errors += rec.errors
+		reads = append(reads, rec.readLat...)
+		updates = append(updates, rec.updateLat...)
+		res.ReadRTTs.Merge(rec.rtts)
+		for i, iv := range rec.readIv {
+			if iv >= 0 && iv < nIntervals {
+				perInterval[iv]++
+				ivReads[iv] = append(ivReads[iv], rec.readLat[i])
+			}
+		}
+		for i, iv := range rec.updateIv {
+			if iv >= 0 && iv < nIntervals {
+				perInterval[iv]++
+				ivUpdates[iv] = append(ivUpdates[iv], rec.updateLat[i])
+			}
+		}
+	}
+	res.Ops = len(reads) + len(updates)
+
+	// Drop the trailing partial interval from the throughput median.
+	full := perInterval
+	if len(full) > 1 {
+		full = full[:len(full)-1]
+	}
+	res.Throughput = medianThroughput(full, cfg.Interval)
+	res.ReadLat = summarize(reads)
+	res.UpdateLat = summarize(updates)
+
+	for iv := 0; iv < nIntervals; iv++ {
+		res.Timeline = append(res.Timeline, IntervalStat{
+			Index:     iv,
+			Ops:       perInterval[iv],
+			ReadP95:   summarize(ivReads[iv]).P95,
+			UpdateP95: summarize(ivUpdates[iv]).P95,
+		})
+	}
+	return res
+}

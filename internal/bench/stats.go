@@ -1,0 +1,103 @@
+// Package bench is the evaluation harness: a closed-loop load generator
+// equivalent to the paper's Basho Bench setup (§4: each client submits a
+// request to one of the three replicas and waits for the reply before
+// submitting the next; clients are spread evenly over replicas; throughput
+// is aggregated in 1 s intervals and reported as the median), plus the
+// drivers that regenerate every figure of the evaluation section.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// LatencyStats summarizes a latency sample set.
+type LatencyStats struct {
+	Count int
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// summarize computes latency statistics; it sorts the input in place.
+func summarize(samples []time.Duration) LatencyStats {
+	if len(samples) == 0 {
+		return LatencyStats{}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var sum time.Duration
+	for _, s := range samples {
+		sum += s
+	}
+	return LatencyStats{
+		Count: len(samples),
+		Mean:  sum / time.Duration(len(samples)),
+		P50:   percentile(samples, 0.50),
+		P95:   percentile(samples, 0.95),
+		P99:   percentile(samples, 0.99),
+		Max:   samples[len(samples)-1],
+	}
+}
+
+// percentile reads the p-quantile from an ascending sample set.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// medianThroughput computes the median of per-interval operation counts —
+// the paper's reporting methodology ("request data aggregation in 1 s
+// intervals", medians with confidence intervals).
+func medianThroughput(perInterval []int, interval time.Duration) float64 {
+	if len(perInterval) == 0 {
+		return 0
+	}
+	sorted := append([]int(nil), perInterval...)
+	sort.Ints(sorted)
+	med := float64(sorted[len(sorted)/2])
+	if len(sorted)%2 == 0 {
+		med = (float64(sorted[len(sorted)/2-1]) + med) / 2
+	}
+	return med / interval.Seconds()
+}
+
+// RTTHistogram counts reads by the number of round trips they needed
+// (Figure 3's x-axis).
+type RTTHistogram map[int]int
+
+// CDF returns the cumulative percentage of reads processed within k round
+// trips for k = 1..max.
+func (h RTTHistogram) CDF(max int) []float64 {
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	out := make([]float64, max)
+	if total == 0 {
+		return out
+	}
+	cum := 0
+	for k := 1; k <= max; k++ {
+		cum += h[k]
+		out[k-1] = 100 * float64(cum) / float64(total)
+	}
+	return out
+}
+
+// Merge adds other's counts into h.
+func (h RTTHistogram) Merge(other RTTHistogram) {
+	for k, c := range other {
+		h[k] += c
+	}
+}
+
+// fmtDur renders a duration in milliseconds with two decimals.
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+}

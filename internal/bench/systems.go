@@ -1,0 +1,305 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"crdtsmr/internal/cluster"
+	"crdtsmr/internal/core"
+	"crdtsmr/internal/crdt"
+	"crdtsmr/internal/paxos"
+	"crdtsmr/internal/raft"
+	"crdtsmr/internal/rsm"
+	"crdtsmr/internal/transport"
+)
+
+// Client is one closed-loop benchmark client bound to a replica.
+type Client interface {
+	// Inc submits one increment and blocks until it completes.
+	Inc(ctx context.Context) error
+	// Read submits one linearizable read and blocks for the value and the
+	// number of protocol round trips it took (0 if the system does not
+	// report round trips).
+	Read(ctx context.Context) (value int64, rtts int, err error)
+}
+
+// System is a replicated counter deployment under benchmark.
+type System interface {
+	Name() string
+	// Client returns the i-th client's handle; clients are spread evenly
+	// across replicas (the paper's load distribution).
+	Client(i int) Client
+	// Crash takes down one replica (Figure 4).
+	Crash(replica int)
+	// Recover brings it back.
+	Recover(replica int)
+	Close()
+}
+
+// NetProfile configures the emulated network.
+type NetProfile struct {
+	MinDelay time.Duration
+	MaxDelay time.Duration
+	Seed     int64
+}
+
+// LANProfile approximates the paper's 10 Gbit/s cluster interconnect:
+// tens of microseconds per message hop, so a protocol round trip costs
+// 40-160 µs — small against the 5 ms batching window, as on the paper's
+// testbed.
+func LANProfile() NetProfile {
+	return NetProfile{MinDelay: 20 * time.Microsecond, MaxDelay: 80 * time.Microsecond, Seed: 1}
+}
+
+func (p NetProfile) mesh() *transport.Mesh {
+	opts := []transport.MeshOption{transport.WithSeed(p.Seed)}
+	if p.MaxDelay > 0 {
+		opts = append(opts, transport.WithDelay(p.MinDelay, p.MaxDelay))
+	}
+	return transport.NewMesh(opts...)
+}
+
+func members(n int) []transport.NodeID {
+	out := make([]transport.NodeID, n)
+	for i := range out {
+		out[i] = transport.NodeID(fmt.Sprintf("n%d", i+1))
+	}
+	return out
+}
+
+// --- CRDT Paxos (this paper) ---
+
+// CRDTSystem runs the paper's protocol on a replicated G-Counter.
+type CRDTSystem struct {
+	name  string
+	mesh  *transport.Mesh
+	clust *cluster.Cluster
+	ids   []transport.NodeID
+}
+
+// NewCRDTSystem starts the paper's protocol over n replicas. batch enables
+// §3.6 batching (the paper evaluates 5 ms).
+func NewCRDTSystem(n int, batch time.Duration, net NetProfile) (*CRDTSystem, error) {
+	return NewCRDTSystemOpts(n, batch, net, core.DefaultOptions())
+}
+
+// NewCRDTSystemOpts is NewCRDTSystem with explicit protocol options, used
+// by the ablation benchmarks (e.g. seeded prepares, §3.2).
+func NewCRDTSystemOpts(n int, batch time.Duration, net NetProfile, opts core.Options) (*CRDTSystem, error) {
+	name := "CRDT Paxos"
+	if batch > 0 {
+		name = fmt.Sprintf("CRDT Paxos w/batching(%s)", batch)
+	}
+	mesh := net.mesh()
+	ids := members(n)
+	clust, err := cluster.New(mesh, cluster.Config{
+		Members:       ids,
+		Initial:       crdt.NewGCounter(),
+		Options:       opts,
+		BatchInterval: batch,
+		// The retransmit timeout doubles as the vote-grace period when a
+		// crashed acceptor leaves a denied vote undecidable (Figure 4);
+		// keep it a small multiple of the protocol round trip.
+		RetransmitInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		mesh.Close()
+		return nil, err
+	}
+	return &CRDTSystem{name: name, mesh: mesh, clust: clust, ids: ids}, nil
+}
+
+// Name implements System.
+func (s *CRDTSystem) Name() string { return s.name }
+
+// Client implements System.
+func (s *CRDTSystem) Client(i int) Client {
+	id := s.ids[i%len(s.ids)]
+	return &crdtClient{node: s.clust.Node(id), slot: string(id)}
+}
+
+// Crash implements System.
+func (s *CRDTSystem) Crash(replica int) { s.clust.Crash(s.ids[replica%len(s.ids)]) }
+
+// Recover implements System.
+func (s *CRDTSystem) Recover(replica int) { s.clust.Recover(s.ids[replica%len(s.ids)]) }
+
+// Close implements System.
+func (s *CRDTSystem) Close() {
+	s.clust.Close()
+	s.mesh.Close()
+}
+
+type crdtClient struct {
+	node *cluster.Node
+	slot string
+}
+
+func (c *crdtClient) Inc(ctx context.Context) error {
+	_, err := c.node.Update(ctx, func(s crdt.State) (crdt.State, error) {
+		return s.(*crdt.GCounter).Inc(c.slot, 1), nil
+	})
+	return err
+}
+
+func (c *crdtClient) Read(ctx context.Context) (int64, int, error) {
+	s, stats, err := c.node.Query(ctx)
+	if err != nil {
+		return 0, 0, err
+	}
+	return int64(s.(*crdt.GCounter).Value()), stats.RoundTrips, nil
+}
+
+// --- Raft baseline ---
+
+// RaftSystem runs the Raft baseline on a replicated integer.
+type RaftSystem struct {
+	mesh  *transport.Mesh
+	nodes []*raft.Node
+}
+
+// NewRaftSystem starts a Raft cluster of n replicas.
+func NewRaftSystem(n int, net NetProfile) (*RaftSystem, error) {
+	mesh := net.mesh()
+	ids := members(n)
+	cfg := raft.Config{Members: ids, ElectionTimeout: 100 * time.Millisecond}
+	s := &RaftSystem{mesh: mesh}
+	for _, id := range ids {
+		node, err := raft.NewNode(id, cfg, rsm.NewCounter(), func(id transport.NodeID, h transport.Handler) transport.Conn {
+			return mesh.Join(id, h)
+		})
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.nodes = append(s.nodes, node)
+	}
+	return s, nil
+}
+
+// Name implements System.
+func (s *RaftSystem) Name() string { return "Raft" }
+
+// Client implements System.
+func (s *RaftSystem) Client(i int) Client {
+	return &raftClient{node: s.nodes[i%len(s.nodes)]}
+}
+
+// Crash implements System.
+func (s *RaftSystem) Crash(replica int) {
+	node := s.nodes[replica%len(s.nodes)]
+	s.mesh.SetDown(node.ID(), true)
+	node.SetCrashed(true)
+}
+
+// Recover implements System.
+func (s *RaftSystem) Recover(replica int) {
+	node := s.nodes[replica%len(s.nodes)]
+	s.mesh.SetDown(node.ID(), false)
+	node.SetCrashed(false)
+}
+
+// Close implements System.
+func (s *RaftSystem) Close() {
+	for _, node := range s.nodes {
+		_ = node.Close()
+	}
+	s.mesh.Close()
+}
+
+type raftClient struct {
+	node *raft.Node
+}
+
+func (c *raftClient) Inc(ctx context.Context) error {
+	_, err := c.node.Execute(ctx, rsm.EncodeInc(1))
+	return err
+}
+
+func (c *raftClient) Read(ctx context.Context) (int64, int, error) {
+	// The paper's Raft baseline appends consistent reads to the log.
+	res, err := c.node.Execute(ctx, rsm.EncodeRead())
+	if err != nil {
+		return 0, 0, err
+	}
+	v, err := rsm.DecodeValue(res)
+	return v, 0, err
+}
+
+// --- Multi-Paxos baseline ---
+
+// PaxosSystem runs the Multi-Paxos baseline (with leader read leases) on a
+// replicated integer.
+type PaxosSystem struct {
+	mesh  *transport.Mesh
+	nodes []*paxos.Node
+}
+
+// NewPaxosSystem starts a Multi-Paxos cluster of n replicas.
+func NewPaxosSystem(n int, net NetProfile) (*PaxosSystem, error) {
+	mesh := net.mesh()
+	ids := members(n)
+	cfg := paxos.Config{Members: ids, ElectionTimeout: 100 * time.Millisecond}
+	s := &PaxosSystem{mesh: mesh}
+	for _, id := range ids {
+		node, err := paxos.NewNode(id, cfg, rsm.NewCounter(), func(id transport.NodeID, h transport.Handler) transport.Conn {
+			return mesh.Join(id, h)
+		})
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.nodes = append(s.nodes, node)
+	}
+	return s, nil
+}
+
+// Name implements System.
+func (s *PaxosSystem) Name() string { return "Multi-Paxos" }
+
+// Client implements System.
+func (s *PaxosSystem) Client(i int) Client {
+	return &paxosClient{node: s.nodes[i%len(s.nodes)]}
+}
+
+// Crash implements System.
+func (s *PaxosSystem) Crash(replica int) {
+	node := s.nodes[replica%len(s.nodes)]
+	s.mesh.SetDown(node.ID(), true)
+	node.SetCrashed(true)
+}
+
+// Recover implements System.
+func (s *PaxosSystem) Recover(replica int) {
+	node := s.nodes[replica%len(s.nodes)]
+	s.mesh.SetDown(node.ID(), false)
+	node.SetCrashed(false)
+}
+
+// Close implements System.
+func (s *PaxosSystem) Close() {
+	for _, node := range s.nodes {
+		_ = node.Close()
+	}
+	s.mesh.Close()
+}
+
+type paxosClient struct {
+	node *paxos.Node
+}
+
+func (c *paxosClient) Inc(ctx context.Context) error {
+	_, err := c.node.Execute(ctx, rsm.EncodeInc(1))
+	return err
+}
+
+func (c *paxosClient) Read(ctx context.Context) (int64, int, error) {
+	// Reads go through the lease fast path at the leader.
+	res, err := c.node.Read(ctx, rsm.EncodeRead())
+	if err != nil {
+		return 0, 0, err
+	}
+	v, err := rsm.DecodeValue(res)
+	return v, 0, err
+}

@@ -1,0 +1,217 @@
+package checker
+
+import (
+	"fmt"
+	"math/rand"
+
+	"crdtsmr/internal/core"
+	"crdtsmr/internal/crdt"
+	"crdtsmr/internal/transport"
+)
+
+// ExploreConfig parameterizes one randomized protocol exploration.
+type ExploreConfig struct {
+	Seed        int64
+	Replicas    int
+	Ops         int     // client commands to inject
+	ReadRatio   float64 // fraction of commands that are reads
+	Options     core.Options
+	MaxSteps    int // safety bound on message deliveries (default 200k)
+	InjectEvery int // inject a command roughly every k scheduler actions (default 2)
+}
+
+// QueryObs is one completed query: its real-time interval and learned state.
+type QueryObs struct {
+	Invoke, Return int64
+	State          crdt.State
+	Stats          core.QueryStats
+}
+
+// ExploreResult reports what an exploration observed.
+type ExploreResult struct {
+	Delivered   int
+	UpdatesDone int
+	QueriesDone int
+	Queries     []QueryObs // in completion order
+	History     []Op
+	MaxAttempts int // worst query retry count observed
+}
+
+// Explore runs a cluster of core replicas over a deterministic fabric,
+// injecting increments and reads at random replicas while delivering
+// messages in seeded-random order, then drains the network and checks:
+//
+//   - Validity (Thm 3.1): every learned counter value is at most the number
+//     of submitted updates.
+//   - Stability (Thm 3.5): for queries where q1 completes before q2 is
+//     submitted, s1 ⊑ s2. (Overlapping queries are only constrained by
+//     Consistency.)
+//   - Consistency (Thm 3.8): all learned states are pairwise comparable.
+//   - Update Visibility / Update Stability (Thms 3.9, 3.10) via
+//     linearizability of the full increment/read history.
+//   - Convergence: after draining, every replica stores the full state.
+//
+// It returns the observations, or an error describing the first violated
+// condition.
+func Explore(cfg ExploreConfig) (*ExploreResult, error) {
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 3
+	}
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = 200000
+	}
+	if cfg.InjectEvery <= 0 {
+		cfg.InjectEvery = 2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	fabric := transport.NewFabric(cfg.Seed + 1)
+
+	members := make([]transport.NodeID, cfg.Replicas)
+	for i := range members {
+		members[i] = transport.NodeID(fmt.Sprintf("n%d", i+1))
+	}
+	replicas := make(map[transport.NodeID]*core.Replica, cfg.Replicas)
+	conns := make(map[transport.NodeID]*transport.FabricConn, cfg.Replicas)
+
+	flush := func(id transport.NodeID) {
+		for _, e := range replicas[id].TakeOutbox() {
+			conns[id].Send(e.To, e.Payload)
+		}
+	}
+	for _, id := range members {
+		rep, err := core.NewReplica(id, members, crdt.NewGCounter(), cfg.Options)
+		if err != nil {
+			return nil, err
+		}
+		replicas[id] = rep
+		id := id
+		conns[id] = fabric.Join(id, func(from transport.NodeID, payload []byte) {
+			replicas[id].Deliver(from, payload)
+			flush(id)
+		})
+	}
+
+	res := &ExploreResult{}
+	hist := NewHistory()
+	updatesSubmitted := 0
+
+	inject := func() {
+		id := members[rng.Intn(len(members))]
+		rep := replicas[id]
+		if rng.Float64() < cfg.ReadRatio {
+			opID := hist.Begin(OpRead)
+			invoke := hist.Clock()
+			rep.SubmitQuery(func(s crdt.State, stats core.QueryStats, err error) {
+				if err != nil {
+					hist.Discard(opID)
+					return
+				}
+				if stats.Attempts > res.MaxAttempts {
+					res.MaxAttempts = stats.Attempts
+				}
+				res.QueriesDone++
+				hist.End(opID, s.(*crdt.GCounter).Value())
+				res.Queries = append(res.Queries, QueryObs{
+					Invoke: invoke,
+					Return: hist.Clock(),
+					State:  s,
+					Stats:  stats,
+				})
+			})
+		} else {
+			opID := hist.Begin(OpInc)
+			updatesSubmitted++
+			slot := string(id)
+			_, err := rep.SubmitUpdate(func(s crdt.State) (crdt.State, error) {
+				return s.(*crdt.GCounter).Inc(slot, 1), nil
+			}, func(stats core.UpdateStats, err error) {
+				if err != nil {
+					hist.Discard(opID)
+					return
+				}
+				res.UpdatesDone++
+				hist.End(opID, 0)
+			})
+			if err != nil {
+				hist.Discard(opID)
+			}
+		}
+		flush(id)
+	}
+
+	// Interleave injections with deliveries, then drain.
+	injected := 0
+	steps := 0
+	for steps < cfg.MaxSteps && (injected < cfg.Ops || fabric.Pending() > 0) {
+		if injected < cfg.Ops && (fabric.Pending() == 0 || steps%cfg.InjectEvery == 0) {
+			inject()
+			injected++
+		}
+		if fabric.Step() {
+			res.Delivered++
+		}
+		steps++
+	}
+	if fabric.Pending() > 0 {
+		return res, fmt.Errorf("checker: network not quiescent after %d steps", cfg.MaxSteps)
+	}
+	// Eventual liveness (§3.5): the fabric is lossless and updates are
+	// finite, so after the drain no request may remain in flight.
+	for id, rep := range replicas {
+		if rep.InFlight() != 0 {
+			return res, fmt.Errorf("checker: %s still has %d requests in flight after drain", id, rep.InFlight())
+		}
+	}
+
+	if err := checkConditions(res, updatesSubmitted); err != nil {
+		return res, err
+	}
+	// Convergence: every replica's local payload holds every update.
+	for id, rep := range replicas {
+		if v := rep.LocalState().(*crdt.GCounter).Value(); v != uint64(updatesSubmitted) {
+			return res, fmt.Errorf("checker: %s converged to %d, want %d", id, v, updatesSubmitted)
+		}
+	}
+	res.History = hist.Ops()
+	if err := CheckCounterLinearizable(res.History); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+func checkConditions(res *ExploreResult, updatesSubmitted int) error {
+	// Validity: no learned value exceeds the submitted updates.
+	for i, q := range res.Queries {
+		if v := q.State.(*crdt.GCounter).Value(); v > uint64(updatesSubmitted) {
+			return fmt.Errorf("checker: validity: query %d learned %d with only %d updates submitted", i, v, updatesSubmitted)
+		}
+	}
+	// Stability: non-overlapping queries learn monotone states.
+	for i, q1 := range res.Queries {
+		for j, q2 := range res.Queries {
+			if q1.Return >= q2.Invoke {
+				continue
+			}
+			le, err := q1.State.Compare(q2.State)
+			if err != nil {
+				return err
+			}
+			if !le {
+				return fmt.Errorf("checker: stability: query %d (done %d) !⊑ query %d (begun %d)", i, q1.Return, j, q2.Invoke)
+			}
+		}
+	}
+	// Consistency: pairwise comparable.
+	for i := range res.Queries {
+		for j := i + 1; j < len(res.Queries); j++ {
+			ok, err := crdt.Comparable(res.Queries[i].State, res.Queries[j].State)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("checker: consistency: states of queries %d and %d incomparable", i, j)
+			}
+		}
+	}
+	return nil
+}

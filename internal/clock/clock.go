@@ -1,0 +1,160 @@
+// Package clock abstracts time for the replication protocols so the same
+// protocol code runs against the wall clock in production and against a
+// manually advanced simulated clock in deterministic tests.
+package clock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Timer is a cancellable pending callback, mirroring time.Timer's AfterFunc
+// form.
+type Timer interface {
+	// Stop cancels the timer. It reports whether the call prevented the
+	// callback from firing.
+	Stop() bool
+}
+
+// Clock supplies the current time and one-shot timers.
+type Clock interface {
+	Now() time.Time
+	AfterFunc(d time.Duration, f func()) Timer
+}
+
+// Real returns the wall clock backed by package time.
+func Real() Clock { return realClock{} }
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) AfterFunc(d time.Duration, f func()) Timer {
+	return time.AfterFunc(d, f)
+}
+
+var _ Clock = realClock{}
+
+// Sim is a deterministic simulated clock. Time only moves when Advance is
+// called; due timers fire synchronously inside Advance in timestamp order
+// (ties broken by scheduling order), on the caller's goroutine.
+type Sim struct {
+	mu     sync.Mutex
+	now    time.Time
+	seq    uint64
+	timers simTimerHeap
+}
+
+var _ Clock = (*Sim)(nil)
+
+// NewSim returns a simulated clock starting at start.
+func NewSim(start time.Time) *Sim {
+	return &Sim{now: start}
+}
+
+// Now implements Clock.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// AfterFunc implements Clock.
+func (s *Sim) AfterFunc(d time.Duration, f func()) Timer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := &simTimer{clock: s, when: s.now.Add(d), seq: s.seq, f: f}
+	s.seq++
+	heap.Push(&s.timers, t)
+	return t
+}
+
+// Advance moves the clock forward by d, firing every timer due at or before
+// the new time in order.
+func (s *Sim) Advance(d time.Duration) {
+	s.mu.Lock()
+	target := s.now.Add(d)
+	for {
+		if len(s.timers) == 0 || s.timers[0].when.After(target) {
+			break
+		}
+		t := heap.Pop(&s.timers).(*simTimer)
+		if t.stopped {
+			continue
+		}
+		// Fire with the clock set to the timer's due time and the lock
+		// released, so callbacks can schedule new timers.
+		s.now = t.when
+		s.mu.Unlock()
+		t.f()
+		s.mu.Lock()
+	}
+	s.now = target
+	s.mu.Unlock()
+}
+
+// PendingTimers returns the number of scheduled, unfired, unstopped timers.
+func (s *Sim) PendingTimers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, t := range s.timers {
+		if !t.stopped {
+			n++
+		}
+	}
+	return n
+}
+
+type simTimer struct {
+	clock   *Sim
+	when    time.Time
+	seq     uint64
+	f       func()
+	stopped bool
+	index   int
+}
+
+func (t *simTimer) Stop() bool {
+	t.clock.mu.Lock()
+	defer t.clock.mu.Unlock()
+	if t.stopped || t.index < 0 {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+type simTimerHeap []*simTimer
+
+func (h simTimerHeap) Len() int { return len(h) }
+
+func (h simTimerHeap) Less(i, j int) bool {
+	if !h[i].when.Equal(h[j].when) {
+		return h[i].when.Before(h[j].when)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h simTimerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *simTimerHeap) Push(x any) {
+	t := x.(*simTimer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+
+func (h *simTimerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}

@@ -1,0 +1,111 @@
+package clock
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSimAdvanceFiresInOrder(t *testing.T) {
+	s := NewSim(time.Unix(0, 0))
+	var order []int
+	s.AfterFunc(30*time.Millisecond, func() { order = append(order, 3) })
+	s.AfterFunc(10*time.Millisecond, func() { order = append(order, 1) })
+	s.AfterFunc(20*time.Millisecond, func() { order = append(order, 2) })
+
+	s.Advance(15 * time.Millisecond)
+	if len(order) != 1 || order[0] != 1 {
+		t.Fatalf("after 15ms fired %v, want [1]", order)
+	}
+	s.Advance(100 * time.Millisecond)
+	if len(order) != 3 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("fired %v, want [1 2 3]", order)
+	}
+	if got := s.Now(); !got.Equal(time.Unix(0, 0).Add(115 * time.Millisecond)) {
+		t.Fatalf("Now = %v", got)
+	}
+}
+
+func TestSimTimerStop(t *testing.T) {
+	s := NewSim(time.Unix(0, 0))
+	fired := false
+	timer := s.AfterFunc(10*time.Millisecond, func() { fired = true })
+	if !timer.Stop() {
+		t.Fatal("Stop should report true for a pending timer")
+	}
+	if timer.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	s.Advance(time.Second)
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	if got := s.PendingTimers(); got != 0 {
+		t.Fatalf("PendingTimers = %d, want 0", got)
+	}
+}
+
+func TestSimTimerReschedulesFromCallback(t *testing.T) {
+	s := NewSim(time.Unix(0, 0))
+	var fires int
+	var schedule func()
+	schedule = func() {
+		s.AfterFunc(10*time.Millisecond, func() {
+			fires++
+			if fires < 3 {
+				schedule()
+			}
+		})
+	}
+	schedule()
+	s.Advance(100 * time.Millisecond)
+	if fires != 3 {
+		t.Fatalf("fires = %d, want 3", fires)
+	}
+}
+
+func TestSimSameDeadlineFIFO(t *testing.T) {
+	s := NewSim(time.Unix(0, 0))
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.AfterFunc(time.Millisecond, func() { order = append(order, i) })
+	}
+	s.Advance(time.Millisecond)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestSimCallbackSeesDueTime(t *testing.T) {
+	s := NewSim(time.Unix(0, 0))
+	var at time.Time
+	s.AfterFunc(25*time.Millisecond, func() { at = s.Now() })
+	s.Advance(time.Second)
+	if want := time.Unix(0, 0).Add(25 * time.Millisecond); !at.Equal(want) {
+		t.Fatalf("callback saw Now=%v, want %v", at, want)
+	}
+}
+
+func TestRealClockAfterFunc(t *testing.T) {
+	c := Real()
+	var fired atomic.Bool
+	done := make(chan struct{})
+	c.AfterFunc(time.Millisecond, func() {
+		fired.Store(true)
+		close(done)
+	})
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("real timer did not fire")
+	}
+	if !fired.Load() {
+		t.Fatal("flag not set")
+	}
+	if c.Now().IsZero() {
+		t.Fatal("real Now is zero")
+	}
+}

@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"fmt"
+
+	"crdtsmr/internal/transport"
+)
+
+// Cluster is a convenience wrapper running one Node per member over a
+// shared in-process Mesh — the deployment used by the examples, the
+// integration tests, and the benchmark harness (the paper's three replicas
+// on a LAN, §4).
+type Cluster struct {
+	mesh  *transport.Mesh
+	nodes map[transport.NodeID]*Node
+	order []transport.NodeID
+}
+
+// New starts a node for every member of cfg over the given mesh.
+func New(mesh *transport.Mesh, cfg Config) (*Cluster, error) {
+	c := &Cluster{
+		mesh:  mesh,
+		nodes: make(map[transport.NodeID]*Node, len(cfg.Members)),
+		order: append([]transport.NodeID(nil), cfg.Members...),
+	}
+	for _, id := range cfg.Members {
+		n, err := NewNode(id, cfg, func(id transport.NodeID, h transport.Handler) transport.Conn {
+			return mesh.Join(id, h)
+		})
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("cluster: start %s: %w", id, err)
+		}
+		c.nodes[id] = n
+	}
+	return c, nil
+}
+
+// Node returns the node with the given ID, or nil.
+func (c *Cluster) Node(id transport.NodeID) *Node { return c.nodes[id] }
+
+// Nodes returns the nodes in member order.
+func (c *Cluster) Nodes() []*Node {
+	out := make([]*Node, 0, len(c.order))
+	for _, id := range c.order {
+		if n, ok := c.nodes[id]; ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Crash simulates a crash of the named node: the mesh drops its traffic
+// and the node fails its commands. Internal state is retained
+// (crash-recovery model, §2.1).
+func (c *Cluster) Crash(id transport.NodeID) {
+	c.mesh.SetDown(id, true)
+	if n := c.nodes[id]; n != nil {
+		n.SetCrashed(true)
+	}
+}
+
+// Recover brings a crashed node back with its retained state.
+func (c *Cluster) Recover(id transport.NodeID) {
+	c.mesh.SetDown(id, false)
+	if n := c.nodes[id]; n != nil {
+		n.SetCrashed(false)
+	}
+}
+
+// Close stops every node.
+func (c *Cluster) Close() {
+	for _, n := range c.nodes {
+		_ = n.Close()
+	}
+}

@@ -1,0 +1,444 @@
+// Package cluster provides the asynchronous runtime that turns the pure
+// protocol state machine of internal/core into live replicas: one event
+// loop per node serializes client commands, inbound messages, and timers
+// (the paper's serial-process assumption, §3.2), a retransmission timer per
+// in-flight request covers message loss, and an optional per-proposer batch
+// (§3.6) amortizes protocol runs across commands.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"crdtsmr/internal/clock"
+	"crdtsmr/internal/core"
+	"crdtsmr/internal/crdt"
+	"crdtsmr/internal/transport"
+)
+
+// ErrUnavailable is returned for commands submitted to a crashed node.
+var ErrUnavailable = errors.New("cluster: node unavailable")
+
+// ErrStopped is returned for commands submitted to a closed node.
+var ErrStopped = errors.New("cluster: node stopped")
+
+// Config configures every node of a cluster.
+type Config struct {
+	// Members lists the full replica group.
+	Members []transport.NodeID
+	// Initial is the initial CRDT payload s0, identical on all replicas.
+	Initial crdt.State
+	// Options are the protocol options (see core.Options).
+	Options core.Options
+	// Clock supplies timers; defaults to the wall clock.
+	Clock clock.Clock
+	// RetransmitInterval is how long a request waits for its quorum before
+	// re-driving its messages. Default 100 ms.
+	RetransmitInterval time.Duration
+	// BatchInterval, when positive, enables §3.6 per-proposer batching:
+	// commands buffer locally and flush every interval, one protocol run
+	// per batch. The paper's evaluation uses 5 ms.
+	BatchInterval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clock == nil {
+		c.Clock = clock.Real()
+	}
+	if c.RetransmitInterval <= 0 {
+		c.RetransmitInterval = 100 * time.Millisecond
+	}
+	return c
+}
+
+// Node is one running replica: a core.Replica driven by an event loop.
+type Node struct {
+	id      transport.NodeID
+	cfg     Config
+	replica *core.Replica
+	conn    transport.Conn
+
+	events   chan nodeEvent
+	counters chan chan core.Counters
+	quit     chan struct{}
+	wg       sync.WaitGroup
+
+	// Loop-owned state (accessed only from the event loop).
+	timers       map[uint64]clock.Timer
+	crashed      bool
+	batchUpdates []*updateOp
+	batchQueries []*queryOp
+	flushTimer   clock.Timer
+}
+
+type nodeEvent struct {
+	kind    eventKind
+	from    transport.NodeID
+	payload []byte
+	update  *updateOp
+	query   *queryOp
+	reqID   uint64
+	crash   bool
+	queries bool // evFlush: flush the query batch (else the update batch)
+}
+
+type eventKind uint8
+
+const (
+	evInbound eventKind = iota + 1
+	evUpdate
+	evQuery
+	evTimeout
+	evFlush
+	evSetCrashed
+)
+
+type updateOp struct {
+	fu   crdt.Update
+	done chan updateResult
+}
+
+type updateResult struct {
+	stats core.UpdateStats
+	err   error
+}
+
+type queryOp struct {
+	done chan queryResult
+}
+
+type queryResult struct {
+	state crdt.State
+	stats core.QueryStats
+	err   error
+}
+
+// NewNode creates and starts a node. join binds the node's ID and inbound
+// handler to a transport (e.g. a wrapper around Mesh.Join or NewTCP).
+func NewNode(id transport.NodeID, cfg Config, join func(transport.NodeID, transport.Handler) transport.Conn) (*Node, error) {
+	cfg = cfg.withDefaults()
+	rep, err := core.NewReplica(id, cfg.Members, cfg.Initial, cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		id:       id,
+		cfg:      cfg,
+		replica:  rep,
+		events:   make(chan nodeEvent, 8192),
+		counters: make(chan chan core.Counters),
+		quit:     make(chan struct{}),
+		timers:   make(map[uint64]clock.Timer),
+	}
+	n.conn = join(id, n.handleInbound)
+	n.wg.Add(1)
+	go n.loop()
+	if cfg.BatchInterval > 0 {
+		// De-phase this node's flush cycle from its peers': replicas that
+		// flush in lockstep run their query protocols concurrently and
+		// deny each other's votes every window. Spreading the phases
+		// across the window keeps the per-window protocol runs of
+		// different proposers disjoint in time.
+		offset := cfg.BatchInterval * time.Duration(memberIndex(cfg.Members, id)) / time.Duration(len(cfg.Members))
+		n.cfg.Clock.AfterFunc(offset, func() {
+			n.post(nodeEvent{kind: evFlush})
+		})
+	}
+	return n, nil
+}
+
+func memberIndex(members []transport.NodeID, id transport.NodeID) int {
+	for i, m := range members {
+		if m == id {
+			return i
+		}
+	}
+	return 0
+}
+
+// ID returns the node's ID.
+func (n *Node) ID() transport.NodeID { return n.id }
+
+// Counters returns a loop-synchronized snapshot of the protocol counters.
+func (n *Node) Counters() core.Counters {
+	res := make(chan core.Counters, 1)
+	select {
+	case n.counters <- res:
+		select {
+		case c := <-res:
+			return c
+		case <-n.quit:
+		}
+	case <-n.quit:
+	}
+	return core.Counters{}
+}
+
+// Update submits an update command and blocks until it completes or ctx is
+// done.
+func (n *Node) Update(ctx context.Context, fu crdt.Update) (core.UpdateStats, error) {
+	op := &updateOp{fu: fu, done: make(chan updateResult, 1)}
+	if err := n.submit(ctx, nodeEvent{kind: evUpdate, update: op}); err != nil {
+		return core.UpdateStats{}, err
+	}
+	select {
+	case res := <-op.done:
+		return res.stats, res.err
+	case <-ctx.Done():
+		return core.UpdateStats{}, ctx.Err()
+	case <-n.quit:
+		return core.UpdateStats{}, ErrStopped
+	}
+}
+
+// Query submits a query command and blocks until a state is learned or ctx
+// is done. The returned state must be treated as immutable.
+func (n *Node) Query(ctx context.Context) (crdt.State, core.QueryStats, error) {
+	op := &queryOp{done: make(chan queryResult, 1)}
+	if err := n.submit(ctx, nodeEvent{kind: evQuery, query: op}); err != nil {
+		return nil, core.QueryStats{}, err
+	}
+	select {
+	case res := <-op.done:
+		return res.state, res.stats, res.err
+	case <-ctx.Done():
+		return nil, core.QueryStats{}, ctx.Err()
+	case <-n.quit:
+		return nil, core.QueryStats{}, ErrStopped
+	}
+}
+
+// SetCrashed simulates a crash (true) or recovery (false). While crashed
+// the node drops inbound messages and fails commands, but keeps its
+// acceptor state — the paper assumes the crash-recovery model in which
+// processes retain their internal state across failures (§2.1).
+func (n *Node) SetCrashed(crashed bool) {
+	n.post(nodeEvent{kind: evSetCrashed, crash: crashed})
+}
+
+// Close stops the event loop and detaches from the transport.
+func (n *Node) Close() error {
+	select {
+	case <-n.quit:
+		n.wg.Wait()
+		return nil
+	default:
+	}
+	close(n.quit)
+	n.wg.Wait()
+	return n.conn.Close()
+}
+
+func (n *Node) submit(ctx context.Context, ev nodeEvent) error {
+	select {
+	case n.events <- ev:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-n.quit:
+		return ErrStopped
+	}
+}
+
+func (n *Node) post(ev nodeEvent) {
+	select {
+	case n.events <- ev:
+	case <-n.quit:
+	}
+}
+
+func (n *Node) handleInbound(from transport.NodeID, payload []byte) {
+	select {
+	case n.events <- nodeEvent{kind: evInbound, from: from, payload: payload}:
+	case <-n.quit:
+	}
+}
+
+func (n *Node) loop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.quit:
+			n.shutdown()
+			return
+		case ev := <-n.events:
+			n.handle(ev)
+		case res := <-n.counters:
+			res <- n.replica.Counters()
+		}
+		n.flushOutbox()
+	}
+}
+
+func (n *Node) handle(ev nodeEvent) {
+	switch ev.kind {
+	case evInbound:
+		if n.crashed {
+			return
+		}
+		n.replica.Deliver(ev.from, ev.payload)
+	case evUpdate:
+		if n.crashed {
+			ev.update.done <- updateResult{err: ErrUnavailable}
+			return
+		}
+		if n.cfg.BatchInterval > 0 {
+			n.batchUpdates = append(n.batchUpdates, ev.update)
+			return
+		}
+		n.startUpdate([]*updateOp{ev.update})
+	case evQuery:
+		if n.crashed {
+			ev.query.done <- queryResult{err: ErrUnavailable}
+			return
+		}
+		if n.cfg.BatchInterval > 0 {
+			n.batchQueries = append(n.batchQueries, ev.query)
+			return
+		}
+		n.startQuery([]*queryOp{ev.query})
+	case evTimeout:
+		if n.crashed {
+			return
+		}
+		if _, live := n.timers[ev.reqID]; live {
+			n.replica.Retransmit(ev.reqID)
+			n.armTimer(ev.reqID)
+		}
+	case evFlush:
+		if !n.crashed {
+			n.flushBatch(ev.queries)
+		}
+		// The update and query batches alternate, each flushing every
+		// BatchInterval but offset by half a window. Flushing them at the
+		// same instant would make every batched query collide with its own
+		// node's MERGE broadcast and forfeit the fast path that batching
+		// exists to enable (§3.6).
+		if n.cfg.BatchInterval > 0 {
+			next := !ev.queries
+			n.flushTimer = n.cfg.Clock.AfterFunc(n.cfg.BatchInterval/2, func() {
+				n.post(nodeEvent{kind: evFlush, queries: next})
+			})
+		}
+	case evSetCrashed:
+		n.crashed = ev.crash
+		if ev.crash {
+			n.failEverything()
+		}
+	}
+}
+
+func (n *Node) startUpdate(ops []*updateOp) {
+	combined := func(s crdt.State) (crdt.State, error) {
+		var err error
+		for _, op := range ops {
+			s, err = op.fu(s)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	}
+	reqID, err := n.replica.SubmitUpdate(combined, func(stats core.UpdateStats, err error) {
+		for _, op := range ops {
+			op.done <- updateResult{stats: stats, err: err}
+		}
+	})
+	if err != nil {
+		for _, op := range ops {
+			op.done <- updateResult{err: err}
+		}
+		return
+	}
+	if n.replica.Pending(reqID) {
+		n.armTimer(reqID)
+	}
+}
+
+func (n *Node) startQuery(ops []*queryOp) {
+	reqID := n.replica.SubmitQuery(func(s crdt.State, stats core.QueryStats, err error) {
+		for _, op := range ops {
+			op.done <- queryResult{state: s, stats: stats, err: err}
+		}
+	})
+	if n.replica.Pending(reqID) {
+		n.armTimer(reqID)
+	}
+}
+
+func (n *Node) flushBatch(queries bool) {
+	if queries {
+		if len(n.batchQueries) > 0 {
+			ops := n.batchQueries
+			n.batchQueries = nil
+			n.startQuery(ops)
+		}
+		return
+	}
+	if len(n.batchUpdates) > 0 {
+		ops := n.batchUpdates
+		n.batchUpdates = nil
+		n.startUpdate(ops)
+	}
+}
+
+func (n *Node) armTimer(reqID uint64) {
+	n.disarmTimer(reqID)
+	n.timers[reqID] = n.cfg.Clock.AfterFunc(n.cfg.RetransmitInterval, func() {
+		n.post(nodeEvent{kind: evTimeout, reqID: reqID})
+	})
+}
+
+func (n *Node) disarmTimer(reqID uint64) {
+	if t, ok := n.timers[reqID]; ok {
+		t.Stop()
+		delete(n.timers, reqID)
+	}
+}
+
+// flushOutbox transmits pending envelopes and disarms timers of requests
+// that completed during the last event.
+func (n *Node) flushOutbox() {
+	for _, e := range n.replica.TakeOutbox() {
+		if !n.crashed {
+			n.conn.Send(e.To, e.Payload)
+		}
+	}
+	for reqID := range n.timers {
+		if !n.replica.Pending(reqID) {
+			n.disarmTimer(reqID)
+		}
+	}
+}
+
+// failEverything aborts in-flight and batched requests upon crash; their
+// callers receive ErrAborted / ErrUnavailable.
+func (n *Node) failEverything() {
+	for reqID := range n.timers {
+		n.disarmTimer(reqID)
+		n.replica.Abort(reqID)
+	}
+	for _, op := range n.batchUpdates {
+		op.done <- updateResult{err: ErrUnavailable}
+	}
+	for _, op := range n.batchQueries {
+		op.done <- queryResult{err: ErrUnavailable}
+	}
+	n.batchUpdates, n.batchQueries = nil, nil
+}
+
+func (n *Node) shutdown() {
+	if n.flushTimer != nil {
+		n.flushTimer.Stop()
+	}
+	for reqID, t := range n.timers {
+		t.Stop()
+		delete(n.timers, reqID)
+	}
+}
+
+// String renders the node for logs.
+func (n *Node) String() string { return fmt.Sprintf("node(%s)", n.id) }

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"crdtsmr/internal/crdt"
+)
+
+// acceptor is the replicated-storage role of Algorithm 2 (lines 25-47).
+// Its entire internal state is the CRDT payload plus a single round — the
+// paper's "memory overhead of a single counter per replica". It has no log
+// and never allocates per-command state.
+type acceptor struct {
+	state crdt.State
+	round Round
+}
+
+func newAcceptor(s0 crdt.State) acceptor {
+	return acceptor{state: s0, round: initRound()}
+}
+
+// applyUpdate executes an update function locally (lines 28-31): the new
+// state replaces the payload and the round ID is clobbered with the write
+// marker so concurrent VOTE proposals fail their round-equality check.
+func (a *acceptor) applyUpdate(fu crdt.Update) (crdt.State, error) {
+	s, err := fu(a.state)
+	if err != nil {
+		return nil, err
+	}
+	a.state = s
+	a.round.ID = writeID
+	return s, nil
+}
+
+// handleMerge merges a remote update's payload (lines 32-35).
+func (a *acceptor) handleMerge(s crdt.State) error {
+	merged, err := a.state.Merge(s)
+	if err != nil {
+		return err
+	}
+	a.state = merged
+	a.round.ID = writeID
+	return nil
+}
+
+// handlePrepare processes a PREPARE message (lines 36-42). It returns the
+// reply to send: an ACK carrying the acceptor's round and payload, or a
+// NACK (carrying the same information, per §3.2 "Retrying Requests") when a
+// fixed prepare's round number does not exceed the current one.
+//
+// An incremental prepare (⊥ number) is always accepted: the acceptor
+// substitutes its own round number + 1, which is strictly greater (line 39).
+// A fixed prepare re-sent with the acceptor's exact current round is
+// re-acknowledged idempotently, so proposers can retransmit over lossy
+// links without being forced into a retry.
+func (a *acceptor) handlePrepare(r Round, s crdt.State) (reply msgType, round Round, state crdt.State, err error) {
+	if s != nil {
+		merged, mergeErr := a.state.Merge(s)
+		if mergeErr != nil {
+			return 0, Round{}, nil, mergeErr
+		}
+		a.state = merged
+	}
+	if r.Incremental() {
+		r = Round{Number: a.round.Number + 1, ID: r.ID}
+	}
+	switch {
+	case a.round.Number < r.Number:
+		a.round = r
+		return msgAck, a.round, a.state, nil
+	case a.round == r:
+		// Idempotent retransmit of an already-adopted fixed prepare.
+		return msgAck, a.round, a.state, nil
+	default:
+		return msgNack, a.round, a.state, nil
+	}
+}
+
+// handleVote processes a VOTE message (lines 43-47). The proposed state is
+// merged unconditionally — it only contains states already present in a
+// quorum of ACKs (Lemma 3.4(ii) relies on this merge happening before the
+// VOTED reply). The vote succeeds only if the acceptor's round still equals
+// the proposal's round, i.e. no update or competing prepare intervened.
+func (a *acceptor) handleVote(r Round, s crdt.State) (reply msgType, round Round, state crdt.State, err error) {
+	if s != nil {
+		merged, mergeErr := a.state.Merge(s)
+		if mergeErr != nil {
+			return 0, Round{}, nil, mergeErr
+		}
+		a.state = merged
+	}
+	if r == a.round {
+		return msgVoted, a.round, nil, nil
+	}
+	return msgNack, a.round, a.state, nil
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+
+	"crdtsmr/internal/crdt"
+	"crdtsmr/internal/wire"
+)
+
+// msgType tags the protocol messages of Algorithm 2.
+type msgType uint8
+
+const (
+	// msgMerge carries an updated payload state to remote acceptors
+	// (update path, line 4).
+	msgMerge msgType = iota + 1
+	// msgMerged acknowledges a MERGE (line 35).
+	msgMerged
+	// msgPrepare announces a proposer's intent to learn a state (line 10).
+	msgPrepare
+	// msgAck answers a successful PREPARE with the acceptor's round and
+	// payload state (line 42).
+	msgAck
+	// msgVote proposes a state to learn under a round (line 17).
+	msgVote
+	// msgVoted accepts a VOTE (line 47). Per the §3.6 optimization it
+	// carries no payload: the proposer remembers what it proposed.
+	msgVoted
+	// msgNack denies a PREPARE or VOTE, carrying the acceptor's current
+	// round and payload state so the proposer can retry informedly
+	// (§3.2 "Retrying Requests").
+	msgNack
+)
+
+func (t msgType) String() string {
+	switch t {
+	case msgMerge:
+		return "MERGE"
+	case msgMerged:
+		return "MERGED"
+	case msgPrepare:
+		return "PREPARE"
+	case msgAck:
+		return "ACK"
+	case msgVote:
+		return "VOTE"
+	case msgVoted:
+		return "VOTED"
+	case msgNack:
+		return "NACK"
+	default:
+		return fmt.Sprintf("msgType(%d)", uint8(t))
+	}
+}
+
+// message is the single wire format for all protocol messages. Req and
+// Attempt correlate replies with the proposer's in-flight request and its
+// current retry attempt, implementing the request-tracking convention of
+// §3.2; replies for stale attempts are discarded.
+type message struct {
+	Type    msgType
+	Req     uint64
+	Attempt uint32
+	Round   Round
+	State   crdt.State // nil when the message carries no payload
+}
+
+// encode serializes the message. Layout:
+//
+//	type(1) | req uvarint | attempt uvarint | round | hasState(1) | [state]
+func (m *message) encode() ([]byte, error) {
+	w := wire.NewWriter(64)
+	w.Byte(byte(m.Type))
+	w.Uvarint(m.Req)
+	w.Uvarint(uint64(m.Attempt))
+	m.Round.encode(w)
+	if m.State == nil {
+		w.Bool(false)
+		return w.Bytes(), nil
+	}
+	w.Bool(true)
+	raw, err := crdt.Marshal(m.State)
+	if err != nil {
+		return nil, fmt.Errorf("core: encode %s: %w", m.Type, err)
+	}
+	w.Raw(raw)
+	return w.Bytes(), nil
+}
+
+// decodeMessage parses a message produced by encode.
+func decodeMessage(p []byte) (*message, error) {
+	r := wire.NewReader(p)
+	m := &message{
+		Type:    msgType(r.Byte()),
+		Req:     r.Uvarint(),
+		Attempt: uint32(r.Uvarint()),
+		Round:   decodeRound(r),
+	}
+	if r.Bool() {
+		raw := r.Raw()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		s, err := crdt.Unmarshal(raw)
+		if err != nil {
+			return nil, fmt.Errorf("core: decode %s state: %w", m.Type, err)
+		}
+		m.State = s
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("core: decode %s: %w", m.Type, err)
+	}
+	if m.Type < msgMerge || m.Type > msgNack {
+		return nil, fmt.Errorf("core: unknown message type %d", m.Type)
+	}
+	return m, nil
+}

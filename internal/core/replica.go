@@ -1,0 +1,674 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"crdtsmr/internal/crdt"
+	"crdtsmr/internal/transport"
+)
+
+// Options configure optional protocol behaviours.
+type Options struct {
+	// GLAStability, when true, makes the replica remember its largest
+	// learned state and return the maximum of it and each newly learned
+	// state, upgrading the paper's Stability condition to GLA-Stability
+	// (§3.4: "states learned at the same process increase monotonically").
+	GLAStability bool
+
+	// SeedPrepare, when true, includes the local acceptor's current payload
+	// in the first PREPARE of every query. §3.2 notes this "can speed-up
+	// convergence of the payload states held by acceptors"; §3.6 notes
+	// omitting a payload saves bandwidth. Retries after a NACK always seed
+	// with the LUB of every payload received so far, regardless of this
+	// option.
+	SeedPrepare bool
+}
+
+// DefaultOptions match the configuration evaluated in the paper (§4):
+// the §3.6 bandwidth optimizations on, GLA-Stability maintained.
+func DefaultOptions() Options {
+	return Options{GLAStability: true, SeedPrepare: false}
+}
+
+// LearnPath records how a query learned its state, for the round-trip
+// distribution of Figure 3.
+type LearnPath uint8
+
+const (
+	// LearnConsistentQuorum: a quorum of ACKs carried equivalent states;
+	// the second phase was skipped (one round trip).
+	LearnConsistentQuorum LearnPath = iota + 1
+	// LearnVote: a quorum voted for the proposed LUB (two round trips).
+	LearnVote
+)
+
+func (p LearnPath) String() string {
+	switch p {
+	case LearnConsistentQuorum:
+		return "consistent-quorum"
+	case LearnVote:
+		return "vote"
+	default:
+		return fmt.Sprintf("LearnPath(%d)", uint8(p))
+	}
+}
+
+// QueryStats describes how a completed query was processed.
+type QueryStats struct {
+	// RoundTrips counts message rounds the proposer initiated: each
+	// PREPARE broadcast and each VOTE broadcast is one round trip.
+	RoundTrips int
+	// Attempts counts protocol attempts (1 = no retry).
+	Attempts int
+	// Path is the learn path of the final, successful attempt.
+	Path LearnPath
+}
+
+// UpdateStats describes a completed update. Updates always take exactly one
+// round trip (§3.2); the struct exists for symmetry and future extension.
+type UpdateStats struct {
+	RoundTrips int
+}
+
+// Envelope is an outbound protocol message for the runtime to transmit.
+type Envelope struct {
+	To      transport.NodeID
+	Payload []byte
+}
+
+// UpdateDone is invoked exactly once when an update completes.
+type UpdateDone func(UpdateStats, error)
+
+// QueryDone is invoked exactly once when a query learns a state. The state
+// must be treated as immutable.
+type QueryDone func(crdt.State, QueryStats, error)
+
+// ErrAborted is reported to completion callbacks when a request is
+// abandoned by Abort (e.g. client timeout or node shutdown).
+var ErrAborted = errors.New("core: request aborted")
+
+// Replica is one protocol participant implementing both roles of
+// Algorithm 2: proposer (processes client commands) and acceptor
+// (replicated storage).
+//
+// Replica is NOT safe for concurrent use. All methods must be called from
+// a single goroutine ("serial processes", §3.2); internal/cluster provides
+// the event loop. After any call, the runtime must drain TakeOutbox and
+// transmit the envelopes.
+type Replica struct {
+	id     transport.NodeID
+	peers  []transport.NodeID // remote peers only (excludes id)
+	quorum int                // majority of the full cluster incl. self
+	opts   Options
+
+	acc acceptor
+
+	nextReq  uint64
+	nextSeq  uint64
+	updates  map[uint64]*updateReq
+	queries  map[uint64]*queryReq
+	learned  crdt.State // largest learned state (GLA-Stability, §3.4)
+	outbox   []Envelope
+	counters Counters
+}
+
+// Counters aggregates protocol-level statistics across all requests
+// processed by this replica.
+type Counters struct {
+	Updates            uint64 // completed updates
+	Queries            uint64 // completed queries
+	ConsistentQuorum   uint64 // queries learned by consistent quorum
+	ByVote             uint64 // queries learned by vote
+	Retries            uint64 // query retry attempts
+	StaleMsgs          uint64 // messages for unknown/stale requests
+	MalformedMsgs      uint64 // messages that failed to decode or merge
+	PreparesAccepted   uint64 // acceptor-side ACKs sent
+	PreparesRejected   uint64 // acceptor-side NACKs to prepares
+	VotesAccepted      uint64 // acceptor-side VOTED sent
+	VotesRejected      uint64 // acceptor-side NACKs to votes
+	IncrementalPrepare uint64 // prepares issued with ⊥ number
+	FixedPrepare       uint64 // prepares issued with a concrete number
+}
+
+type updateReq struct {
+	id      uint64
+	state   crdt.State // the merged payload broadcast in MERGE
+	acked   map[transport.NodeID]bool
+	done    UpdateDone
+	pending int // remote MERGED replies still needed
+}
+
+type queryPhase uint8
+
+const (
+	phasePrepare queryPhase = iota + 1
+	phaseVote
+)
+
+type queryReq struct {
+	id      uint64
+	attempt uint32
+	phase   queryPhase
+
+	round    Round                        // round of the current attempt (as sent)
+	acks     map[transport.NodeID]ackInfo // ACKs of the current attempt
+	votes    map[transport.NodeID]bool    // VOTED of the current attempt
+	denials  map[transport.NodeID]bool    // vote-phase NACKs of the current attempt
+	proposed crdt.State                   // state sent in VOTE
+	gathered crdt.State                   // LUB of every payload seen (retry seed)
+
+	rtts int
+	done QueryDone
+}
+
+type ackInfo struct {
+	round Round
+	state crdt.State
+}
+
+// NewReplica creates a protocol participant. id must appear in members,
+// which lists the full cluster (the quorum system is majority over
+// members). s0 is the initial payload state, identical on every replica.
+func NewReplica(id transport.NodeID, members []transport.NodeID, s0 crdt.State, opts Options) (*Replica, error) {
+	peers := make([]transport.NodeID, 0, len(members)-1)
+	self := false
+	for _, m := range members {
+		if m == id {
+			self = true
+			continue
+		}
+		peers = append(peers, m)
+	}
+	if !self {
+		return nil, fmt.Errorf("core: replica %s not in member list %v", id, members)
+	}
+	if s0 == nil {
+		return nil, errors.New("core: nil initial state")
+	}
+	return &Replica{
+		id:      id,
+		peers:   peers,
+		quorum:  len(members)/2 + 1,
+		opts:    opts,
+		acc:     newAcceptor(s0),
+		updates: make(map[uint64]*updateReq),
+		queries: make(map[uint64]*queryReq),
+		learned: s0,
+	}, nil
+}
+
+// ID returns the replica's node ID.
+func (r *Replica) ID() transport.NodeID { return r.id }
+
+// Quorum returns the quorum size (majority of the cluster).
+func (r *Replica) Quorum() int { return r.quorum }
+
+// LocalState returns the local acceptor's current payload. It reflects
+// only this replica's view and is NOT linearizable; use SubmitQuery for
+// linearizable reads.
+func (r *Replica) LocalState() crdt.State { return r.acc.state }
+
+// Counters returns a snapshot of the protocol counters.
+func (r *Replica) Counters() Counters { return r.counters }
+
+// TakeOutbox returns and clears the outbound envelopes produced since the
+// last call. The runtime must transmit them (best effort).
+func (r *Replica) TakeOutbox() []Envelope {
+	out := r.outbox
+	r.outbox = nil
+	return out
+}
+
+// InFlight returns the number of client requests not yet completed.
+func (r *Replica) InFlight() int { return len(r.updates) + len(r.queries) }
+
+// Pending reports whether the given request is still in flight.
+func (r *Replica) Pending(reqID uint64) bool {
+	if _, ok := r.updates[reqID]; ok {
+		return true
+	}
+	_, ok := r.queries[reqID]
+	return ok
+}
+
+func (r *Replica) send(to transport.NodeID, m *message) {
+	p, err := m.encode()
+	if err != nil {
+		// Encoding fails only for unmarshalable states — a programming
+		// error in the payload type. Dropping the message degrades to a
+		// lost message, which the protocol tolerates.
+		r.counters.MalformedMsgs++
+		return
+	}
+	r.outbox = append(r.outbox, Envelope{To: to, Payload: p})
+}
+
+func (r *Replica) broadcast(m *message) {
+	for _, p := range r.peers {
+		r.send(p, m)
+	}
+}
+
+// SubmitUpdate starts an update command (Algorithm 2, lines 1-6): the
+// update function is applied at the local acceptor and the resulting state
+// is broadcast in MERGE messages; done fires once a quorum (counting this
+// replica) has merged. Returns the request ID, or an error if the update
+// function itself failed (in which case done is not called).
+func (r *Replica) SubmitUpdate(fu crdt.Update, done UpdateDone) (uint64, error) {
+	s, err := r.acc.applyUpdate(fu)
+	if err != nil {
+		return 0, fmt.Errorf("core: update function: %w", err)
+	}
+	r.nextReq++
+	req := &updateReq{
+		id:      r.nextReq,
+		state:   s,
+		acked:   make(map[transport.NodeID]bool, len(r.peers)),
+		done:    done,
+		pending: r.quorum - 1, // the local acceptor already merged
+	}
+	if req.pending <= 0 {
+		r.completeUpdate(req)
+		return req.id, nil
+	}
+	r.updates[req.id] = req
+	r.broadcast(&message{Type: msgMerge, Req: req.id, State: s})
+	return req.id, nil
+}
+
+// SubmitQuery starts a query command (Algorithm 2, lines 7-24). done fires
+// with the learned state once a quorum agrees. The caller applies its query
+// function to the learned state (equivalently to line 15/24 sending
+// fq(s) to the client).
+func (r *Replica) SubmitQuery(done QueryDone) uint64 {
+	r.nextReq++
+	req := &queryReq{
+		id:   r.nextReq,
+		done: done,
+	}
+	r.queries[req.id] = req
+	r.startAttempt(req, Round{Number: NumberIncremental}, r.prepareSeed(nil))
+	return req.id
+}
+
+// prepareSeed decides which payload accompanies a PREPARE. Per §3.6, s0 is
+// never sent; the first prepare is empty unless SeedPrepare is set, and
+// retries send the LUB gathered so far.
+func (r *Replica) prepareSeed(gathered crdt.State) crdt.State {
+	if gathered != nil {
+		return gathered
+	}
+	if r.opts.SeedPrepare {
+		return r.acc.state
+	}
+	return nil
+}
+
+// startAttempt begins a (re)prepare for a query with the given round
+// template (incremental or fixed) and optional payload seed.
+func (r *Replica) startAttempt(req *queryReq, round Round, seed crdt.State) {
+	req.attempt++
+	req.phase = phasePrepare
+	req.acks = make(map[transport.NodeID]ackInfo, len(r.peers)+1)
+	req.votes = nil
+	req.proposed = nil
+	req.rtts++
+
+	r.nextSeq++
+	round.ID = RoundID{Proposer: r.id, Seq: r.nextSeq}
+	req.round = round
+	if round.Incremental() {
+		r.counters.IncrementalPrepare++
+	} else {
+		r.counters.FixedPrepare++
+	}
+
+	// The local acceptor processes the PREPARE synchronously — it is the
+	// same serial process (§3.2). Remote acceptors get it broadcast.
+	reply, accRound, accState, err := r.acc.handlePrepare(round, seed)
+	if err == nil && reply == msgAck {
+		req.acks[r.id] = ackInfo{round: accRound, state: accState}
+	} else if err == nil {
+		// A fixed prepare below the local round: retry incrementally
+		// (an incremental prepare is always self-accepted, so this does
+		// not recurse further).
+		req.gathered = r.mergeGathered(req.gathered, accState)
+		r.retryQuery(req)
+		return
+	}
+	r.broadcast(&message{Type: msgPrepare, Req: req.id, Attempt: req.attempt, Round: round, State: seed})
+
+	// A single-replica cluster decides immediately.
+	r.maybeDecidePrepare(req)
+}
+
+func (r *Replica) mergeGathered(acc, s crdt.State) crdt.State {
+	if s == nil {
+		return acc
+	}
+	if acc == nil {
+		return s
+	}
+	merged, err := acc.Merge(s)
+	if err != nil {
+		r.counters.MalformedMsgs++
+		return acc
+	}
+	return merged
+}
+
+// Deliver processes one inbound protocol message. Malformed messages are
+// dropped (counted), matching the unreliable-network model.
+func (r *Replica) Deliver(from transport.NodeID, payload []byte) {
+	m, err := decodeMessage(payload)
+	if err != nil {
+		r.counters.MalformedMsgs++
+		return
+	}
+	switch m.Type {
+	case msgMerge:
+		r.onMerge(from, m)
+	case msgMerged:
+		r.onMerged(from, m)
+	case msgPrepare:
+		r.onPrepare(from, m)
+	case msgAck:
+		r.onAck(from, m)
+	case msgVote:
+		r.onVote(from, m)
+	case msgVoted:
+		r.onVoted(from, m)
+	case msgNack:
+		r.onNack(from, m)
+	}
+}
+
+// --- acceptor-side message handling ---
+
+func (r *Replica) onMerge(from transport.NodeID, m *message) {
+	if m.State == nil {
+		r.counters.MalformedMsgs++
+		return
+	}
+	if err := r.acc.handleMerge(m.State); err != nil {
+		r.counters.MalformedMsgs++
+		return
+	}
+	r.send(from, &message{Type: msgMerged, Req: m.Req})
+}
+
+func (r *Replica) onPrepare(from transport.NodeID, m *message) {
+	reply, round, state, err := r.acc.handlePrepare(m.Round, m.State)
+	if err != nil {
+		r.counters.MalformedMsgs++
+		return
+	}
+	if reply == msgAck {
+		r.counters.PreparesAccepted++
+	} else {
+		r.counters.PreparesRejected++
+	}
+	r.send(from, &message{Type: reply, Req: m.Req, Attempt: m.Attempt, Round: round, State: state})
+}
+
+func (r *Replica) onVote(from transport.NodeID, m *message) {
+	reply, round, state, err := r.acc.handleVote(m.Round, m.State)
+	if err != nil {
+		r.counters.MalformedMsgs++
+		return
+	}
+	if reply == msgVoted {
+		r.counters.VotesAccepted++
+	} else {
+		r.counters.VotesRejected++
+	}
+	r.send(from, &message{Type: reply, Req: m.Req, Attempt: m.Attempt, Round: round, State: state})
+}
+
+// --- proposer-side message handling ---
+
+func (r *Replica) onMerged(from transport.NodeID, m *message) {
+	req, ok := r.updates[m.Req]
+	if !ok {
+		r.counters.StaleMsgs++
+		return
+	}
+	if req.acked[from] {
+		return // duplicate
+	}
+	req.acked[from] = true
+	req.pending--
+	if req.pending <= 0 {
+		delete(r.updates, req.id)
+		r.completeUpdate(req)
+	}
+}
+
+func (r *Replica) completeUpdate(req *updateReq) {
+	r.counters.Updates++
+	if req.done != nil {
+		req.done(UpdateStats{RoundTrips: 1}, nil)
+	}
+}
+
+func (r *Replica) onAck(from transport.NodeID, m *message) {
+	req, ok := r.queries[m.Req]
+	if !ok || m.Attempt != req.attempt || req.phase != phasePrepare {
+		r.counters.StaleMsgs++
+		return
+	}
+	if _, dup := req.acks[from]; dup {
+		return
+	}
+	if m.State == nil {
+		r.counters.MalformedMsgs++
+		return
+	}
+	req.acks[from] = ackInfo{round: m.Round, state: m.State}
+	req.gathered = r.mergeGathered(req.gathered, m.State)
+	r.maybeDecidePrepare(req)
+}
+
+// maybeDecidePrepare implements lines 11-21: once ACKs from a quorum have
+// arrived, either learn by consistent quorum, move to the vote phase, or
+// retry with a fixed prepare at a higher round number.
+func (r *Replica) maybeDecidePrepare(req *queryReq) {
+	if req.phase != phasePrepare || len(req.acks) < r.quorum {
+		return
+	}
+	states := make([]crdt.State, 0, len(req.acks))
+	for _, a := range req.acks {
+		states = append(states, a.state)
+	}
+	lub, err := crdt.MergeAll(states...)
+	if err != nil {
+		r.counters.MalformedMsgs++
+		r.retryQuery(req)
+		return
+	}
+
+	// (a) Learned by consistent quorum: all ACK states equivalent to ⊔S̆.
+	consistent := true
+	for _, s := range states {
+		eq, eqErr := crdt.Equivalent(s, lub)
+		if eqErr != nil || !eq {
+			consistent = false
+			break
+		}
+	}
+	if consistent {
+		r.finishQuery(req, lub, LearnConsistentQuorum)
+		return
+	}
+
+	// (b) Consistent rounds: propose ⊔S̆ under the common round.
+	var common Round
+	first := true
+	sameRound := true
+	for _, a := range req.acks {
+		if first {
+			common, first = a.round, false
+			continue
+		}
+		if a.round != common {
+			sameRound = false
+			break
+		}
+	}
+	if sameRound {
+		req.phase = phaseVote
+		req.proposed = lub
+		req.votes = make(map[transport.NodeID]bool, len(r.peers)+1)
+		req.denials = make(map[transport.NodeID]bool, len(r.peers))
+		req.round = common
+		req.rtts++
+
+		// Local acceptor votes synchronously. A local denial means an
+		// update already intervened here; per §3.2 retry straight away.
+		reply, _, accState, voteErr := r.acc.handleVote(common, lub)
+		if voteErr == nil && reply != msgVoted {
+			req.gathered = r.mergeGathered(req.gathered, accState)
+			r.retryQuery(req)
+			return
+		}
+		if voteErr == nil {
+			req.votes[r.id] = true
+		}
+		r.broadcast(&message{Type: msgVote, Req: req.id, Attempt: req.attempt, Round: common, State: lub})
+		r.maybeDecideVote(req)
+		return
+	}
+
+	// (c) Inconsistent rounds: retry with a fixed prepare at max(R̆)+1
+	// (lines 19-21), seeded with the gathered LUB.
+	max := common
+	for _, a := range req.acks {
+		if max.Less(a.round) {
+			max = a.round
+		}
+	}
+	r.counters.Retries++
+	r.startAttempt(req, Round{Number: max.Number + 1}, r.prepareSeed(req.gathered))
+}
+
+func (r *Replica) onVoted(from transport.NodeID, m *message) {
+	req, ok := r.queries[m.Req]
+	if !ok || m.Attempt != req.attempt || req.phase != phaseVote {
+		r.counters.StaleMsgs++
+		return
+	}
+	req.votes[from] = true
+	r.maybeDecideVote(req)
+}
+
+func (r *Replica) maybeDecideVote(req *queryReq) {
+	if req.phase == phaseVote && len(req.votes) >= r.quorum {
+		// Learned by vote: the proposed state is established in a quorum.
+		r.finishQuery(req, req.proposed, LearnVote)
+	}
+}
+
+func (r *Replica) onNack(from transport.NodeID, m *message) {
+	req, ok := r.queries[m.Req]
+	if !ok || m.Attempt != req.attempt {
+		r.counters.StaleMsgs++
+		return
+	}
+	// §3.2 "Retrying Requests": a proposer that receives a NACK before a
+	// quorum of ACK or VOTED messages must retry, with an incremental
+	// prepare seeded with the LUB of every payload received so far (this
+	// is what makes the retry loop converge, §3.5).
+	req.gathered = r.mergeGathered(req.gathered, m.State)
+	switch req.phase {
+	case phasePrepare:
+		// A prepare NACK (fixed prepare below the acceptor's round) dooms
+		// the phase: retry immediately.
+		r.retryQuery(req)
+	case phaseVote:
+		// A denied vote may still be outvoted: retry only once a quorum of
+		// VOTED can no longer arrive from acceptors that have not replied.
+		// (A crashed acceptor never replies; the runtime's retransmit
+		// timeout covers that case.)
+		req.denials[from] = true
+		replies := len(req.votes) + len(req.denials)
+		outstanding := len(r.peers) + 1 - replies
+		if len(req.votes)+outstanding < r.quorum {
+			r.retryQuery(req)
+		}
+	}
+}
+
+// retryQuery restarts a query with an incremental prepare seeded with the
+// LUB of everything seen so far. §3.2: retrying with an incremental prepare
+// guarantees eventual liveness; each failed iteration folds at least one
+// more acceptor's updates into the seed (§3.5).
+func (r *Replica) retryQuery(req *queryReq) {
+	r.counters.Retries++
+	r.startAttempt(req, Round{Number: NumberIncremental}, r.prepareSeed(req.gathered))
+}
+
+func (r *Replica) finishQuery(req *queryReq, learned crdt.State, path LearnPath) {
+	delete(r.queries, req.id)
+	r.counters.Queries++
+	if path == LearnConsistentQuorum {
+		r.counters.ConsistentQuorum++
+	} else {
+		r.counters.ByVote++
+	}
+
+	if r.opts.GLAStability {
+		// §3.4: remember the largest learned state; return the max. The
+		// two are always comparable because the protocol guarantees
+		// Consistency (Theorem 3.8).
+		le, err := r.learned.Compare(learned)
+		switch {
+		case err == nil && le:
+			r.learned = learned
+		case err == nil:
+			learned = r.learned
+		}
+	}
+
+	if req.done != nil {
+		req.done(learned, QueryStats{RoundTrips: req.rtts, Attempts: int(req.attempt), Path: path}, nil)
+	}
+}
+
+// Retransmit re-drives an in-flight request after a runtime timeout,
+// covering message loss. Updates re-broadcast MERGE to acceptors that have
+// not acknowledged (idempotent: merge is). Queries restart with a fresh
+// incremental prepare, which is always safe (§3.2) — replies to the stale
+// attempt are discarded by the attempt check.
+func (r *Replica) Retransmit(reqID uint64) {
+	if req, ok := r.updates[reqID]; ok {
+		for _, p := range r.peers {
+			if !req.acked[p] {
+				r.send(p, &message{Type: msgMerge, Req: req.id, State: req.state})
+			}
+		}
+		return
+	}
+	if req, ok := r.queries[reqID]; ok {
+		r.retryQuery(req)
+	}
+}
+
+// Abort abandons an in-flight request; its completion callback fires with
+// ErrAborted. Aborting an unknown (e.g. already completed) request is a
+// no-op.
+func (r *Replica) Abort(reqID uint64) {
+	if req, ok := r.updates[reqID]; ok {
+		delete(r.updates, reqID)
+		if req.done != nil {
+			req.done(UpdateStats{}, ErrAborted)
+		}
+		return
+	}
+	if req, ok := r.queries[reqID]; ok {
+		delete(r.queries, reqID)
+		if req.done != nil {
+			req.done(nil, QueryStats{RoundTrips: req.rtts, Attempts: int(req.attempt)}, ErrAborted)
+		}
+	}
+}

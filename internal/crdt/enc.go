@@ -1,0 +1,218 @@
+package crdt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// The wire format used by all payload codecs is deterministic: map keys are
+// emitted in sorted order so that equivalent states marshal to identical
+// bytes. Integers use uvarint/varint encoding; strings and byte slices are
+// length-prefixed.
+
+var errTruncated = errors.New("crdt: truncated payload")
+
+type encBuf struct {
+	b []byte
+}
+
+func newEncBuf(sizeHint int) *encBuf {
+	return &encBuf{b: make([]byte, 0, sizeHint)}
+}
+
+func (e *encBuf) bytes() []byte { return e.b }
+
+func (e *encBuf) uvarint(v uint64) {
+	e.b = binary.AppendUvarint(e.b, v)
+}
+
+func (e *encBuf) varint(v int64) {
+	e.b = binary.AppendVarint(e.b, v)
+}
+
+func (e *encBuf) float64(v float64) {
+	e.b = binary.BigEndian.AppendUint64(e.b, math.Float64bits(v))
+}
+
+func (e *encBuf) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.b = append(e.b, s...)
+}
+
+func (e *encBuf) raw(p []byte) {
+	e.uvarint(uint64(len(p)))
+	e.b = append(e.b, p...)
+}
+
+func (e *encBuf) bool(v bool) {
+	if v {
+		e.b = append(e.b, 1)
+	} else {
+		e.b = append(e.b, 0)
+	}
+}
+
+// strU64Map encodes a map[string]uint64 deterministically.
+func (e *encBuf) strU64Map(m map[string]uint64) {
+	keys := sortedKeys(m)
+	e.uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		e.str(k)
+		e.uvarint(m[k])
+	}
+}
+
+// strSet encodes a map[string]struct{} deterministically.
+func (e *encBuf) strSet(m map[string]struct{}) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	e.uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		e.str(k)
+	}
+}
+
+type decBuf struct {
+	b []byte
+}
+
+func newDecBuf(p []byte) *decBuf { return &decBuf{b: p} }
+
+func (d *decBuf) done() error {
+	if len(d.b) != 0 {
+		return fmt.Errorf("crdt: %d trailing bytes in payload", len(d.b))
+	}
+	return nil
+}
+
+func (d *decBuf) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		return 0, errTruncated
+	}
+	d.b = d.b[n:]
+	return v, nil
+}
+
+func (d *decBuf) varint() (int64, error) {
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		return 0, errTruncated
+	}
+	d.b = d.b[n:]
+	return v, nil
+}
+
+func (d *decBuf) float64() (float64, error) {
+	if len(d.b) < 8 {
+		return 0, errTruncated
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(d.b))
+	d.b = d.b[8:]
+	return v, nil
+}
+
+func (d *decBuf) str() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if uint64(len(d.b)) < n {
+		return "", errTruncated
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s, nil
+}
+
+func (d *decBuf) raw() ([]byte, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(d.b)) < n {
+		return nil, errTruncated
+	}
+	p := make([]byte, n)
+	copy(p, d.b[:n])
+	d.b = d.b[n:]
+	return p, nil
+}
+
+func (d *decBuf) bool() (bool, error) {
+	if len(d.b) < 1 {
+		return false, errTruncated
+	}
+	v := d.b[0] != 0
+	d.b = d.b[1:]
+	return v, nil
+}
+
+func (d *decBuf) strU64Map() (map[string]uint64, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]uint64, n)
+	for i := uint64(0); i < n; i++ {
+		k, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		v, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		m[k] = v
+	}
+	return m, nil
+}
+
+func (d *decBuf) strSet() (map[string]struct{}, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]struct{}, n)
+	for i := uint64(0); i < n; i++ {
+		k, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		m[k] = struct{}{}
+	}
+	return m, nil
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// cloneStrU64 deep-copies a map[string]uint64; used by mutators to preserve
+// value semantics.
+func cloneStrU64(m map[string]uint64) map[string]uint64 {
+	out := make(map[string]uint64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func cloneStrSet(m map[string]struct{}) map[string]struct{} {
+	out := make(map[string]struct{}, len(m))
+	for k := range m {
+		out[k] = struct{}{}
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package crdt
+
+import (
+	"fmt"
+	"sync"
+)
+
+// The codec registry maps payload type names to factories so that payloads
+// can be reconstructed from the self-describing wire format produced by
+// Marshal. All payload types shipped with this package are registered by
+// the package itself; applications adding custom CRDTs must Register them
+// on every replica before exchanging states.
+
+// Unmarshaler is implemented by payload types that can decode themselves
+// from the bytes produced by their MarshalBinary. Factories returned by the
+// registry must produce values implementing both State and Unmarshaler.
+type Unmarshaler interface {
+	UnmarshalBinary(data []byte) error
+}
+
+type registry struct {
+	mu        sync.RWMutex
+	factories map[string]func() State
+}
+
+var defaultRegistry = &registry{factories: make(map[string]func() State)}
+
+// Register adds a payload type factory under the given name. The factory
+// must return a fresh zero-value payload whose concrete type implements
+// Unmarshaler. Register panics if the name is already taken with a
+// different factory, mirroring gob.Register semantics: codec registration
+// is a wiring error, not a runtime condition.
+func Register(name string, factory func() State) {
+	defaultRegistry.mu.Lock()
+	defer defaultRegistry.mu.Unlock()
+	if name == "" {
+		panic("crdt: Register with empty type name")
+	}
+	if _, dup := defaultRegistry.factories[name]; dup {
+		panic(fmt.Sprintf("crdt: Register called twice for type %q", name))
+	}
+	if _, ok := factory().(Unmarshaler); !ok {
+		panic(fmt.Sprintf("crdt: payload type %q does not implement Unmarshaler", name))
+	}
+	defaultRegistry.factories[name] = factory
+}
+
+// New returns a fresh zero-value payload of the named registered type.
+func New(name string) (State, error) {
+	defaultRegistry.mu.RLock()
+	factory, ok := defaultRegistry.factories[name]
+	defaultRegistry.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("crdt: unregistered payload type %q", name)
+	}
+	return factory(), nil
+}
+
+// Marshal encodes a state in the self-describing wire format
+// [name][payload] used by the replication protocols.
+func Marshal(s State) ([]byte, error) {
+	payload, err := s.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("crdt: marshal %s: %w", s.TypeName(), err)
+	}
+	e := newEncBuf(len(payload) + len(s.TypeName()) + 2)
+	e.str(s.TypeName())
+	e.raw(payload)
+	return e.bytes(), nil
+}
+
+// Unmarshal decodes a state previously encoded with Marshal. The payload
+// type must have been registered on this process.
+func Unmarshal(data []byte) (State, error) {
+	d := newDecBuf(data)
+	name, err := d.str()
+	if err != nil {
+		return nil, fmt.Errorf("crdt: unmarshal type name: %w", err)
+	}
+	payload, err := d.raw()
+	if err != nil {
+		return nil, fmt.Errorf("crdt: unmarshal %s payload: %w", name, err)
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	s, err := New(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.(Unmarshaler).UnmarshalBinary(payload); err != nil {
+		return nil, fmt.Errorf("crdt: unmarshal %s: %w", name, err)
+	}
+	return s, nil
+}
+
+// Registered type names for the built-in payload types.
+const (
+	TypeGCounter    = "g-counter"
+	TypePNCounter   = "pn-counter"
+	TypeMaxRegister = "max-register"
+	TypeLWWRegister = "lww-register"
+	TypeMVRegister  = "mv-register"
+	TypeGSet        = "g-set"
+	TypeTwoPSet     = "2p-set"
+	TypeORSet       = "or-set"
+	TypeEWFlag      = "ew-flag"
+	TypeLWWMap      = "lww-map"
+	TypeVClock      = "vector-clock"
+)
+
+// Built-in payloads are registered once at package initialization, the same
+// pattern encoding/gob uses for its concrete-type registry.
+func init() {
+	Register(TypeGCounter, func() State { return NewGCounter() })
+	Register(TypePNCounter, func() State { return NewPNCounter() })
+	Register(TypeMaxRegister, func() State { return NewMaxRegister() })
+	Register(TypeLWWRegister, func() State { return NewLWWRegister() })
+	Register(TypeMVRegister, func() State { return NewMVRegister() })
+	Register(TypeGSet, func() State { return NewGSet() })
+	Register(TypeTwoPSet, func() State { return NewTwoPSet() })
+	Register(TypeORSet, func() State { return NewORSet() })
+	Register(TypeEWFlag, func() State { return NewEWFlag() })
+	Register(TypeLWWMap, func() State { return NewLWWMap() })
+	Register(TypeVClock, func() State { return NewVClock() })
+}

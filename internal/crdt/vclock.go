@@ -1,0 +1,103 @@
+package crdt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// VClock is a vector clock: one monotonically increasing counter per actor.
+// Vector clocks are themselves a join semilattice (pointwise max / pointwise
+// ≤), so VClock doubles as a CRDT payload and as the causality-tracking
+// building block of MVRegister.
+type VClock struct {
+	clock map[string]uint64
+}
+
+var (
+	_ State       = (*VClock)(nil)
+	_ Unmarshaler = (*VClock)(nil)
+)
+
+// NewVClock returns the empty (bottom) clock.
+func NewVClock() *VClock { return &VClock{clock: map[string]uint64{}} }
+
+// Tick returns a copy with actor's component advanced by one.
+func (v *VClock) Tick(actor string) *VClock {
+	out := &VClock{clock: cloneStrU64(v.clock)}
+	out.clock[actor]++
+	return out
+}
+
+// Get returns actor's component.
+func (v *VClock) Get(actor string) uint64 { return v.clock[actor] }
+
+// Merge is the pointwise maximum.
+func (v *VClock) Merge(other State) (State, error) {
+	o, ok := other.(*VClock)
+	if !ok {
+		return nil, typeMismatch(v, other)
+	}
+	out := &VClock{clock: cloneStrU64(v.clock)}
+	for k, c := range o.clock {
+		if c > out.clock[k] {
+			out.clock[k] = c
+		}
+	}
+	return out, nil
+}
+
+// Compare is the pointwise ≤ (the happened-before partial order).
+func (v *VClock) Compare(other State) (bool, error) {
+	o, ok := other.(*VClock)
+	if !ok {
+		return false, typeMismatch(v, other)
+	}
+	for k, c := range v.clock {
+		if c > o.clock[k] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Concurrent reports whether neither clock dominates the other.
+func (v *VClock) Concurrent(o *VClock) bool {
+	le, _ := v.Compare(o)
+	ge, _ := o.Compare(v)
+	return !le && !ge
+}
+
+// TypeName implements State.
+func (v *VClock) TypeName() string { return TypeVClock }
+
+// MarshalBinary implements State.
+func (v *VClock) MarshalBinary() ([]byte, error) {
+	e := newEncBuf(12 * (len(v.clock) + 1))
+	e.strU64Map(v.clock)
+	return e.bytes(), nil
+}
+
+// UnmarshalBinary implements Unmarshaler.
+func (v *VClock) UnmarshalBinary(data []byte) error {
+	d := newDecBuf(data)
+	m, err := d.strU64Map()
+	if err != nil {
+		return err
+	}
+	if err := d.done(); err != nil {
+		return err
+	}
+	v.clock = m
+	return nil
+}
+
+// String renders the clock for logs and test failures.
+func (v *VClock) String() string {
+	parts := make([]string, 0, len(v.clock))
+	for _, k := range sortedKeys(v.clock) {
+		parts = append(parts, fmt.Sprintf("%s:%d", k, v.clock[k]))
+	}
+	sort.Strings(parts)
+	return "VClock{" + strings.Join(parts, ",") + "}"
+}

@@ -1,0 +1,291 @@
+// Package gla implements the generalized lattice agreement protocol of
+// Faleiro, Rajamani, Rajan, Ramalingam, Vaswani (PODC 2012) — the wait-free
+// comparator the paper discusses but could not benchmark, because its
+// messages carry "an ever-increasing set of proposed values" with no
+// published truncation mechanism (§4). We implement it to reproduce that
+// message-growth argument quantitatively (the ablation benchmark compares
+// its payload sizes against CRDT Paxos's constant-size coordination
+// overhead).
+//
+// Values are sets of commands. Each proposer maintains a current proposal
+// (a command set); acceptors accept a proposal iff it includes their
+// current accepted set, otherwise they reject and return the union. A
+// proposer refines its proposal with every rejection and retries; after at
+// most N rejections the proposal is accepted by a quorum and its value is
+// learned (wait-free, O(N) message delays).
+package gla
+
+import (
+	"fmt"
+	"sort"
+
+	"crdtsmr/internal/transport"
+	"crdtsmr/internal/wire"
+)
+
+// CmdSet is the join semilattice of proposals: a set of opaque commands
+// under union.
+type CmdSet map[string]struct{}
+
+// NewCmdSet builds a set from commands.
+func NewCmdSet(cmds ...string) CmdSet {
+	s := make(CmdSet, len(cmds))
+	for _, c := range cmds {
+		s[c] = struct{}{}
+	}
+	return s
+}
+
+// Union returns s ∪ o.
+func (s CmdSet) Union(o CmdSet) CmdSet {
+	out := make(CmdSet, len(s)+len(o))
+	for c := range s {
+		out[c] = struct{}{}
+	}
+	for c := range o {
+		out[c] = struct{}{}
+	}
+	return out
+}
+
+// Includes reports o ⊆ s.
+func (s CmdSet) Includes(o CmdSet) bool {
+	for c := range o {
+		if _, ok := s[c]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Elements returns the commands in sorted order.
+func (s CmdSet) Elements() []string {
+	out := make([]string, 0, len(s))
+	for c := range s {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s CmdSet) encode(w *wire.Writer) {
+	els := s.Elements()
+	w.Uvarint(uint64(len(els)))
+	for _, e := range els {
+		w.Str(e)
+	}
+}
+
+func decodeCmdSet(r *wire.Reader) CmdSet {
+	n := r.Uvarint()
+	if n > 1<<24 {
+		return nil
+	}
+	out := make(CmdSet, n)
+	for i := uint64(0); i < n; i++ {
+		out[r.Str()] = struct{}{}
+	}
+	return out
+}
+
+type msgType uint8
+
+const (
+	mPropose msgType = iota + 1
+	mAcceptAck
+	mRejectNack
+)
+
+type message struct {
+	Type msgType
+	Seq  uint64
+	Val  CmdSet
+}
+
+func (m *message) encode() []byte {
+	w := wire.NewWriter(32 + 16*len(m.Val))
+	w.Byte(byte(m.Type))
+	w.Uvarint(m.Seq)
+	m.Val.encode(w)
+	return w.Bytes()
+}
+
+func decodeMessage(p []byte) (*message, error) {
+	r := wire.NewReader(p)
+	m := &message{Type: msgType(r.Byte()), Seq: r.Uvarint(), Val: decodeCmdSet(r)}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("gla: decode: %w", err)
+	}
+	if m.Type < mPropose || m.Type > mRejectNack {
+		return nil, fmt.Errorf("gla: unknown type %d", m.Type)
+	}
+	return m, nil
+}
+
+// Envelope is an outbound message.
+type Envelope struct {
+	To      transport.NodeID
+	Payload []byte
+}
+
+// LearnedFn receives each newly learned value at a proposer.
+type LearnedFn func(val CmdSet, seq uint64)
+
+// Replica is a GLA participant (proposer + acceptor), single-threaded like
+// the other protocol state machines in this repository.
+type Replica struct {
+	id     transport.NodeID
+	peers  []transport.NodeID
+	quorum int
+
+	// Acceptor state: the accepted value only ever grows.
+	accepted CmdSet
+
+	// Proposer state.
+	active   bool
+	seq      uint64
+	proposal CmdSet
+	buffered CmdSet
+	acks     int
+	rejects  int
+	onLearn  LearnedFn
+
+	outbox []Envelope
+
+	// BytesSent tracks cumulative outbound payload bytes, the quantity the
+	// message-growth ablation measures.
+	BytesSent uint64
+}
+
+// NewReplica creates a GLA participant. members must include id.
+func NewReplica(id transport.NodeID, members []transport.NodeID, onLearn LearnedFn) (*Replica, error) {
+	peers := make([]transport.NodeID, 0, len(members)-1)
+	self := false
+	for _, m := range members {
+		if m == id {
+			self = true
+			continue
+		}
+		peers = append(peers, m)
+	}
+	if !self {
+		return nil, fmt.Errorf("gla: %s not in member list %v", id, members)
+	}
+	return &Replica{
+		id:       id,
+		peers:    peers,
+		quorum:   len(members)/2 + 1,
+		accepted: NewCmdSet(),
+		buffered: NewCmdSet(),
+		onLearn:  onLearn,
+	}, nil
+}
+
+// ID returns the replica ID.
+func (r *Replica) ID() transport.NodeID { return r.id }
+
+// Accepted returns the acceptor's current value (its size mirrors the
+// unbounded state the paper's protocol avoids).
+func (r *Replica) Accepted() CmdSet { return r.accepted }
+
+// TakeOutbox returns and clears pending outbound messages.
+func (r *Replica) TakeOutbox() []Envelope {
+	out := r.outbox
+	r.outbox = nil
+	return out
+}
+
+func (r *Replica) send(to transport.NodeID, m *message) {
+	p := m.encode()
+	r.BytesSent += uint64(len(p))
+	r.outbox = append(r.outbox, Envelope{To: to, Payload: p})
+}
+
+// ReceiveValue submits a command into the lattice (the GLA equivalent of
+// an update; the learned value is the protocol's read result).
+func (r *Replica) ReceiveValue(cmd string) {
+	r.buffered = r.buffered.Union(NewCmdSet(cmd))
+	if !r.active {
+		r.startProposal()
+	}
+}
+
+func (r *Replica) startProposal() {
+	if len(r.buffered) == 0 {
+		return
+	}
+	r.active = true
+	r.seq++
+	r.proposal = r.proposal.Union(r.buffered)
+	r.buffered = NewCmdSet()
+	// Self-accept, then broadcast. The proposal always includes our own
+	// accepted value by construction of refinement.
+	r.proposal = r.proposal.Union(r.accepted)
+	r.accepted = r.proposal
+	r.acks = 1
+	r.rejects = 0
+	for _, p := range r.peers {
+		r.send(p, &message{Type: mPropose, Seq: r.seq, Val: r.proposal})
+	}
+	r.maybeDecide()
+}
+
+// Deliver processes one inbound message.
+func (r *Replica) Deliver(from transport.NodeID, payload []byte) {
+	m, err := decodeMessage(payload)
+	if err != nil {
+		return
+	}
+	switch m.Type {
+	case mPropose:
+		if r.accepted.Includes(m.Val) || m.Val.Includes(r.accepted) {
+			// Comparable: accept the union.
+			r.accepted = r.accepted.Union(m.Val)
+			r.send(from, &message{Type: mAcceptAck, Seq: m.Seq})
+		} else {
+			// Incomparable: reject with the union so the proposer refines.
+			r.accepted = r.accepted.Union(m.Val)
+			r.send(from, &message{Type: mRejectNack, Seq: m.Seq, Val: r.accepted})
+		}
+	case mAcceptAck:
+		if !r.active || m.Seq != r.seq {
+			return
+		}
+		r.acks++
+		r.maybeDecide()
+	case mRejectNack:
+		if !r.active || m.Seq != r.seq {
+			return
+		}
+		r.rejects++
+		r.proposal = r.proposal.Union(m.Val)
+		r.maybeDecide()
+	}
+}
+
+func (r *Replica) maybeDecide() {
+	if !r.active {
+		return
+	}
+	if r.acks >= r.quorum {
+		// Learned.
+		learned := r.proposal
+		seq := r.seq
+		r.active = false
+		if r.onLearn != nil {
+			r.onLearn(learned, seq)
+		}
+		r.startProposal() // propose buffered commands, if any
+		return
+	}
+	if r.rejects > 0 && r.acks+r.rejects > len(r.peers) {
+		// Refine and retry with the enlarged proposal.
+		r.seq++
+		r.accepted = r.accepted.Union(r.proposal)
+		r.acks = 1
+		r.rejects = 0
+		for _, p := range r.peers {
+			r.send(p, &message{Type: mPropose, Seq: r.seq, Val: r.proposal})
+		}
+	}
+}

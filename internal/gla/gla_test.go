@@ -1,0 +1,154 @@
+package gla
+
+import (
+	"fmt"
+	"testing"
+
+	"crdtsmr/internal/transport"
+)
+
+type gnet struct {
+	t    *testing.T
+	reps map[transport.NodeID]*Replica
+	pool []genv
+}
+
+type genv struct {
+	from, to transport.NodeID
+	payload  []byte
+}
+
+func newGNet(t *testing.T, n int, onLearn map[transport.NodeID]LearnedFn) *gnet {
+	t.Helper()
+	members := make([]transport.NodeID, n)
+	for i := range members {
+		members[i] = transport.NodeID(fmt.Sprintf("n%d", i+1))
+	}
+	nw := &gnet{t: t, reps: make(map[transport.NodeID]*Replica, n)}
+	for _, id := range members {
+		rep, err := NewReplica(id, members, onLearn[id])
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw.reps[id] = rep
+	}
+	return nw
+}
+
+func (nw *gnet) pump() {
+	for _, rep := range nw.reps {
+		for _, e := range rep.TakeOutbox() {
+			nw.pool = append(nw.pool, genv{from: rep.ID(), to: e.To, payload: e.Payload})
+		}
+	}
+}
+
+func (nw *gnet) drain() {
+	for len(nw.pool) > 0 {
+		e := nw.pool[0]
+		nw.pool = nw.pool[1:]
+		nw.reps[e.to].Deliver(e.from, e.payload)
+		nw.pump()
+	}
+}
+
+func TestSingleProposerLearns(t *testing.T) {
+	var learned []CmdSet
+	nw := newGNet(t, 3, map[transport.NodeID]LearnedFn{
+		"n1": func(v CmdSet, seq uint64) { learned = append(learned, v) },
+	})
+	nw.reps["n1"].ReceiveValue("a")
+	nw.pump()
+	nw.drain()
+	if len(learned) != 1 {
+		t.Fatalf("learned %d values, want 1", len(learned))
+	}
+	if !learned[0].Includes(NewCmdSet("a")) {
+		t.Fatalf("learned %v, want {a}", learned[0].Elements())
+	}
+}
+
+func TestConcurrentProposersConverge(t *testing.T) {
+	learned := map[transport.NodeID][]CmdSet{}
+	fns := map[transport.NodeID]LearnedFn{}
+	for _, id := range []transport.NodeID{"n1", "n2", "n3"} {
+		id := id
+		fns[id] = func(v CmdSet, seq uint64) { learned[id] = append(learned[id], v) }
+	}
+	nw := newGNet(t, 3, fns)
+	nw.reps["n1"].ReceiveValue("a")
+	nw.reps["n2"].ReceiveValue("b")
+	nw.reps["n3"].ReceiveValue("c")
+	nw.pump()
+	nw.drain()
+
+	// Every learned value pair must be comparable (lattice agreement).
+	var all []CmdSet
+	for _, vs := range learned {
+		all = append(all, vs...)
+	}
+	if len(all) < 3 {
+		t.Fatalf("only %d values learned", len(all))
+	}
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			if !all[i].Includes(all[j]) && !all[j].Includes(all[i]) {
+				t.Fatalf("incomparable learned values: %v vs %v", all[i].Elements(), all[j].Elements())
+			}
+		}
+	}
+}
+
+func TestMessageSizesGrowWithCommands(t *testing.T) {
+	// The ablation's core observation: GLA coordination bytes grow with
+	// the command history, CRDT Paxos's do not.
+	nw := newGNet(t, 3, map[transport.NodeID]LearnedFn{})
+	rep := nw.reps["n1"]
+	var sizes []uint64
+	prev := uint64(0)
+	for i := 0; i < 50; i++ {
+		rep.ReceiveValue(fmt.Sprintf("cmd-%04d", i))
+		nw.pump()
+		nw.drain()
+		sizes = append(sizes, rep.BytesSent-prev)
+		prev = rep.BytesSent
+	}
+	if sizes[len(sizes)-1] <= sizes[0]*2 {
+		t.Fatalf("expected message growth, got first=%d last=%d", sizes[0], sizes[len(sizes)-1])
+	}
+}
+
+func TestCmdSetOps(t *testing.T) {
+	a := NewCmdSet("x", "y")
+	b := NewCmdSet("y", "z")
+	u := a.Union(b)
+	if len(u) != 3 || !u.Includes(a) || !u.Includes(b) {
+		t.Fatalf("union = %v", u.Elements())
+	}
+	if a.Includes(b) || b.Includes(a) {
+		t.Fatal("incomparable sets reported comparable")
+	}
+	if got := u.Elements(); got[0] != "x" || got[2] != "z" {
+		t.Fatalf("elements = %v", got)
+	}
+}
+
+func TestCodec(t *testing.T) {
+	in := &message{Type: mPropose, Seq: 9, Val: NewCmdSet("a", "b")}
+	out, err := decodeMessage(in.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Seq != 9 || !out.Val.Includes(in.Val) {
+		t.Fatalf("round trip mangled: %+v", out)
+	}
+	if _, err := decodeMessage(nil); err == nil {
+		t.Fatal("nil decoded")
+	}
+}
+
+func TestReplicaValidation(t *testing.T) {
+	if _, err := NewReplica("zz", []transport.NodeID{"a"}, nil); err == nil {
+		t.Fatal("id outside members accepted")
+	}
+}

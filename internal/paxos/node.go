@@ -1,0 +1,310 @@
+package paxos
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"crdtsmr/internal/clock"
+	"crdtsmr/internal/rsm"
+	"crdtsmr/internal/transport"
+)
+
+// ErrStopped is returned for commands submitted to a closed node.
+var ErrStopped = errors.New("paxos: node stopped")
+
+// Config configures a Multi-Paxos node.
+type Config struct {
+	Members []transport.NodeID
+	// Clock supplies timers and the lease clock; defaults to wall clock.
+	Clock clock.Clock
+	// ElectionTimeout is the base leader-liveness timeout; the actual
+	// timeout is randomized in [base, 2*base]. Default 150 ms.
+	ElectionTimeout time.Duration
+	// HeartbeatInterval is the leader's lease-renewal cadence. Default
+	// ElectionTimeout/5. It must be well below LeaseDuration.
+	HeartbeatInterval time.Duration
+	// LeaseDuration is the read-lease window. Default 4*ElectionTimeout.
+	LeaseDuration time.Duration
+	// CompactEvery truncates the applied log prefix after this many slots.
+	CompactEvery int
+	// Seed randomizes election jitter.
+	Seed int64
+}
+
+func (c Config) withDefaults(id transport.NodeID) Config {
+	if c.Clock == nil {
+		c.Clock = clock.Real()
+	}
+	if c.ElectionTimeout <= 0 {
+		c.ElectionTimeout = 150 * time.Millisecond
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = c.ElectionTimeout / 5
+	}
+	if c.LeaseDuration <= 0 {
+		c.LeaseDuration = 4 * c.ElectionTimeout
+	}
+	if c.Seed == 0 {
+		for _, b := range []byte(id) {
+			c.Seed = c.Seed*137 + int64(b)
+		}
+	}
+	return c
+}
+
+// Node runs a Multi-Paxos replica with an event loop and timers.
+type Node struct {
+	id      transport.NodeID
+	cfg     Config
+	replica *Replica
+	conn    transport.Conn
+
+	events chan pxEvent
+	quit   chan struct{}
+	wg     sync.WaitGroup
+
+	rng           *rand.Rand
+	electionTimer clock.Timer
+	crashed       bool
+}
+
+type pxEvent struct {
+	kind    pxEventKind
+	from    transport.NodeID
+	payload []byte
+	cmd     []byte
+	read    bool
+	done    Done
+	crash   bool
+}
+
+type pxEventKind uint8
+
+const (
+	pevInbound pxEventKind = iota + 1
+	pevExecute
+	pevElection
+	pevHeartbeat
+	pevSetCrashed
+)
+
+// NewNode creates and starts a Multi-Paxos node replicating sm.
+func NewNode(id transport.NodeID, cfg Config, sm rsm.StateMachine, join func(transport.NodeID, transport.Handler) transport.Conn) (*Node, error) {
+	cfg = cfg.withDefaults(id)
+	rep, err := NewReplica(id, cfg.Members, sm)
+	if err != nil {
+		return nil, err
+	}
+	rep.LeaseDuration = cfg.LeaseDuration
+	if cfg.CompactEvery > 0 {
+		rep.CompactEvery = cfg.CompactEvery
+	}
+	n := &Node{
+		id:      id,
+		cfg:     cfg,
+		replica: rep,
+		events:  make(chan pxEvent, 8192),
+		quit:    make(chan struct{}),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+	n.conn = join(id, n.handleInbound)
+	n.wg.Add(1)
+	go n.loop()
+	return n, nil
+}
+
+// ID returns the node ID.
+func (n *Node) ID() transport.NodeID { return n.id }
+
+// IsLeader reports whether the node currently leads (metrics only).
+func (n *Node) IsLeader() bool { return n.replica.IsLeader() }
+
+// Execute submits a command and blocks until it is chosen and applied,
+// retrying across leader changes until ctx expires.
+func (n *Node) Execute(ctx context.Context, cmd []byte) ([]byte, error) {
+	return n.run(ctx, cmd, false)
+}
+
+// Read executes a read command, served locally at a leader holding a valid
+// lease (one of the paper's baseline behaviours) and through the log
+// otherwise.
+func (n *Node) Read(ctx context.Context, cmd []byte) ([]byte, error) {
+	return n.run(ctx, cmd, true)
+}
+
+func (n *Node) run(ctx context.Context, cmd []byte, read bool) ([]byte, error) {
+	backoff := n.cfg.HeartbeatInterval
+	for {
+		res := make(chan pxResult, 1)
+		ev := pxEvent{kind: pevExecute, cmd: cmd, read: read, done: func(result []byte, err error) {
+			res <- pxResult{result: result, err: err}
+		}}
+		select {
+		case n.events <- ev:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-n.quit:
+			return nil, ErrStopped
+		}
+
+		tryTimeout := time.NewTimer(2 * n.cfg.ElectionTimeout)
+		select {
+		case r := <-res:
+			tryTimeout.Stop()
+			if r.err == nil {
+				return r.result, nil
+			}
+			if !errors.Is(r.err, ErrNoLeader) && !errors.Is(r.err, ErrLostLeadership) {
+				return nil, r.err
+			}
+		case <-tryTimeout.C:
+		case <-ctx.Done():
+			tryTimeout.Stop()
+			return nil, ctx.Err()
+		case <-n.quit:
+			tryTimeout.Stop()
+			return nil, ErrStopped
+		}
+
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-n.quit:
+			return nil, ErrStopped
+		}
+	}
+}
+
+type pxResult struct {
+	result []byte
+	err    error
+}
+
+// SetCrashed simulates a crash or recovery.
+func (n *Node) SetCrashed(crashed bool) {
+	select {
+	case n.events <- pxEvent{kind: pevSetCrashed, crash: crashed}:
+	case <-n.quit:
+	}
+}
+
+// Close stops the node.
+func (n *Node) Close() error {
+	select {
+	case <-n.quit:
+		n.wg.Wait()
+		return nil
+	default:
+	}
+	close(n.quit)
+	n.wg.Wait()
+	return n.conn.Close()
+}
+
+func (n *Node) handleInbound(from transport.NodeID, payload []byte) {
+	select {
+	case n.events <- pxEvent{kind: pevInbound, from: from, payload: payload}:
+	case <-n.quit:
+	}
+}
+
+func (n *Node) loop() {
+	defer n.wg.Done()
+	n.resetElectionTimer()
+	heartbeat := n.cfg.Clock.AfterFunc(n.cfg.HeartbeatInterval, n.heartbeatTick)
+	defer func() {
+		heartbeat.Stop()
+		if n.electionTimer != nil {
+			n.electionTimer.Stop()
+		}
+	}()
+	for {
+		select {
+		case <-n.quit:
+			n.replica.FailForwards()
+			n.flush()
+			return
+		case ev := <-n.events:
+			n.handle(ev)
+			n.flush()
+		}
+	}
+}
+
+func (n *Node) heartbeatTick() {
+	select {
+	case n.events <- pxEvent{kind: pevHeartbeat}:
+	case <-n.quit:
+	}
+}
+
+func (n *Node) handle(ev pxEvent) {
+	switch ev.kind {
+	case pevInbound:
+		if n.crashed {
+			return
+		}
+		if n.replica.Deliver(ev.from, ev.payload, n.cfg.Clock.Now()) {
+			n.resetElectionTimer()
+		}
+	case pevExecute:
+		if n.crashed {
+			ev.done(nil, ErrNoLeader)
+			return
+		}
+		if ev.read {
+			if result, ok := n.replica.ReadLocal(n.cfg.Clock.Now(), ev.cmd); ok {
+				ev.done(result, nil)
+				return
+			}
+			n.replica.ProposeRead(ev.cmd, ev.done)
+			return
+		}
+		n.replica.Propose(ev.cmd, ev.done)
+	case pevElection:
+		if n.crashed {
+			return
+		}
+		n.replica.StartElection(n.cfg.Clock.Now())
+		n.replica.FailForwards()
+		n.resetElectionTimer()
+	case pevHeartbeat:
+		if !n.crashed {
+			n.replica.HeartbeatTick()
+		}
+		n.cfg.Clock.AfterFunc(n.cfg.HeartbeatInterval, n.heartbeatTick)
+	case pevSetCrashed:
+		n.crashed = ev.crash
+		if ev.crash {
+			n.replica.FailForwards()
+			n.replica.stepDown(n.replica.promised, "")
+		} else {
+			n.resetElectionTimer()
+		}
+	}
+}
+
+func (n *Node) resetElectionTimer() {
+	if n.electionTimer != nil {
+		n.electionTimer.Stop()
+	}
+	d := n.cfg.ElectionTimeout + time.Duration(n.rng.Int63n(int64(n.cfg.ElectionTimeout)))
+	n.electionTimer = n.cfg.Clock.AfterFunc(d, func() {
+		select {
+		case n.events <- pxEvent{kind: pevElection}:
+		case <-n.quit:
+		}
+	})
+}
+
+func (n *Node) flush() {
+	for _, e := range n.replica.TakeOutbox() {
+		if !n.crashed {
+			n.conn.Send(e.To, e.Payload)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package paxos
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"crdtsmr/internal/rsm"
+	"crdtsmr/internal/transport"
+)
+
+func startPaxosCluster(t *testing.T, n int) (*transport.Mesh, []*Node) {
+	t.Helper()
+	mesh := transport.NewMesh()
+	members := make([]transport.NodeID, n)
+	for i := range members {
+		members[i] = transport.NodeID(fmt.Sprintf("n%d", i+1))
+	}
+	cfg := Config{
+		Members:         members,
+		ElectionTimeout: 50 * time.Millisecond,
+	}
+	nodes := make([]*Node, 0, n)
+	for _, id := range members {
+		node, err := NewNode(id, cfg, rsm.NewCounter(), func(id transport.NodeID, h transport.Handler) transport.Conn {
+			return mesh.Join(id, h)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, node)
+	}
+	t.Cleanup(func() {
+		for _, node := range nodes {
+			_ = node.Close()
+		}
+		mesh.Close()
+	})
+	return mesh, nodes
+}
+
+func TestPaxosNodeClusterExecutes(t *testing.T) {
+	_, nodes := startPaxosCluster(t, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	for i := 0; i < 5; i++ {
+		if _, err := nodes[i%3].Execute(ctx, rsm.EncodeInc(1)); err != nil {
+			t.Fatalf("execute %d: %v", i, err)
+		}
+	}
+	res, err := nodes[2].Read(ctx, rsm.EncodeRead())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := rsm.DecodeValue(res); v != 5 {
+		t.Fatalf("read = %d, want 5", v)
+	}
+}
+
+func TestPaxosNodeConcurrentClients(t *testing.T) {
+	_, nodes := startPaxosCluster(t, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	const clients, ops = 6, 10
+	var wg sync.WaitGroup
+	var fails atomic.Int64
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			node := nodes[c%len(nodes)]
+			for i := 0; i < ops; i++ {
+				if _, err := node.Execute(ctx, rsm.EncodeInc(1)); err != nil {
+					fails.Add(1)
+					return
+				}
+				if i%3 == 0 {
+					if _, err := node.Read(ctx, rsm.EncodeRead()); err != nil {
+						fails.Add(1)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if fails.Load() != 0 {
+		t.Fatalf("%d clients failed", fails.Load())
+	}
+	res, err := nodes[0].Read(ctx, rsm.EncodeRead())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := rsm.DecodeValue(res); v != clients*ops {
+		t.Fatalf("value = %d, want %d", v, clients*ops)
+	}
+}
+
+func TestPaxosLeaderFailover(t *testing.T) {
+	mesh, nodes := startPaxosCluster(t, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	if _, err := nodes[0].Execute(ctx, rsm.EncodeInc(1)); err != nil {
+		t.Fatal(err)
+	}
+	var leaderIdx = -1
+	deadline := time.Now().Add(5 * time.Second)
+	for leaderIdx < 0 && time.Now().Before(deadline) {
+		for i, n := range nodes {
+			if n.IsLeader() {
+				leaderIdx = i
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if leaderIdx < 0 {
+		t.Fatal("no leader emerged")
+	}
+	mesh.SetDown(nodes[leaderIdx].ID(), true)
+	nodes[leaderIdx].SetCrashed(true)
+
+	survivor := nodes[(leaderIdx+1)%3]
+	if _, err := survivor.Execute(ctx, rsm.EncodeInc(1)); err != nil {
+		t.Fatalf("execute after failover: %v", err)
+	}
+	res, err := survivor.Read(ctx, rsm.EncodeRead())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := rsm.DecodeValue(res); v != 2 {
+		t.Fatalf("value = %d, want 2", v)
+	}
+}

@@ -1,0 +1,291 @@
+package raft
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"crdtsmr/internal/clock"
+	"crdtsmr/internal/rsm"
+	"crdtsmr/internal/transport"
+)
+
+// ErrStopped is returned for commands submitted to a closed node.
+var ErrStopped = errors.New("raft: node stopped")
+
+// Config configures a Raft node.
+type Config struct {
+	Members []transport.NodeID
+	// Clock supplies timers; defaults to the wall clock.
+	Clock clock.Clock
+	// ElectionTimeout is the base election timeout; the actual timeout is
+	// randomized in [base, 2*base]. Default 150 ms.
+	ElectionTimeout time.Duration
+	// HeartbeatInterval is the leader's replication cadence. Default
+	// ElectionTimeout/5.
+	HeartbeatInterval time.Duration
+	// CompactEvery snapshots and truncates the log after this many applied
+	// entries. Default 4096.
+	CompactEvery int
+	// Seed randomizes election jitter.
+	Seed int64
+}
+
+func (c Config) withDefaults(id transport.NodeID) Config {
+	if c.Clock == nil {
+		c.Clock = clock.Real()
+	}
+	if c.ElectionTimeout <= 0 {
+		c.ElectionTimeout = 150 * time.Millisecond
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = c.ElectionTimeout / 5
+	}
+	if c.Seed == 0 {
+		for _, b := range []byte(id) {
+			c.Seed = c.Seed*131 + int64(b)
+		}
+	}
+	return c
+}
+
+// Node runs a Raft replica: an event loop serializing messages, client
+// proposals, and timers.
+type Node struct {
+	id      transport.NodeID
+	cfg     Config
+	replica *Replica
+	sm      rsm.StateMachine
+	conn    transport.Conn
+
+	events chan raftEvent
+	quit   chan struct{}
+	wg     sync.WaitGroup
+
+	// Loop-owned.
+	rng           *rand.Rand
+	electionTimer clock.Timer
+	crashed       bool
+}
+
+type raftEvent struct {
+	kind    raftEventKind
+	from    transport.NodeID
+	payload []byte
+	cmd     []byte
+	done    Done
+	crash   bool
+}
+
+type raftEventKind uint8
+
+const (
+	revInbound raftEventKind = iota + 1
+	revPropose
+	revElection
+	revHeartbeat
+	revSetCrashed
+)
+
+// NewNode creates and starts a Raft node replicating sm.
+func NewNode(id transport.NodeID, cfg Config, sm rsm.StateMachine, join func(transport.NodeID, transport.Handler) transport.Conn) (*Node, error) {
+	cfg = cfg.withDefaults(id)
+	rep, err := NewReplica(id, cfg.Members, sm)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CompactEvery > 0 {
+		rep.CompactEvery = cfg.CompactEvery
+	}
+	n := &Node{
+		id:      id,
+		cfg:     cfg,
+		replica: rep,
+		sm:      sm,
+		events:  make(chan raftEvent, 8192),
+		quit:    make(chan struct{}),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+	n.conn = join(id, n.handleInbound)
+	n.wg.Add(1)
+	go n.loop()
+	return n, nil
+}
+
+// ID returns the node ID.
+func (n *Node) ID() transport.NodeID { return n.id }
+
+// Execute submits a command and blocks until it commits and applies,
+// retrying across leader changes until ctx expires.
+func (n *Node) Execute(ctx context.Context, cmd []byte) ([]byte, error) {
+	backoff := n.cfg.HeartbeatInterval
+	for {
+		res := make(chan proposeResult, 1)
+		ev := raftEvent{kind: revPropose, cmd: cmd, done: func(result []byte, err error) {
+			res <- proposeResult{result: result, err: err}
+		}}
+		select {
+		case n.events <- ev:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-n.quit:
+			return nil, ErrStopped
+		}
+
+		tryTimeout := time.NewTimer(2 * n.cfg.ElectionTimeout)
+		select {
+		case r := <-res:
+			tryTimeout.Stop()
+			if r.err == nil {
+				return r.result, nil
+			}
+			if !errors.Is(r.err, ErrNoLeader) && !errors.Is(r.err, ErrLostLeadership) {
+				return nil, r.err
+			}
+		case <-tryTimeout.C:
+			// Leader likely failed mid-request; retry.
+		case <-ctx.Done():
+			tryTimeout.Stop()
+			return nil, ctx.Err()
+		case <-n.quit:
+			tryTimeout.Stop()
+			return nil, ErrStopped
+		}
+
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-n.quit:
+			return nil, ErrStopped
+		}
+	}
+}
+
+type proposeResult struct {
+	result []byte
+	err    error
+}
+
+// IsLeader reports whether the node currently leads (approximate: read
+// outside the loop for metrics only).
+func (n *Node) IsLeader() bool { return n.replica.IsLeader() }
+
+// SetCrashed simulates a crash or recovery.
+func (n *Node) SetCrashed(crashed bool) {
+	select {
+	case n.events <- raftEvent{kind: revSetCrashed, crash: crashed}:
+	case <-n.quit:
+	}
+}
+
+// Close stops the node.
+func (n *Node) Close() error {
+	select {
+	case <-n.quit:
+		n.wg.Wait()
+		return nil
+	default:
+	}
+	close(n.quit)
+	n.wg.Wait()
+	return n.conn.Close()
+}
+
+func (n *Node) handleInbound(from transport.NodeID, payload []byte) {
+	select {
+	case n.events <- raftEvent{kind: revInbound, from: from, payload: payload}:
+	case <-n.quit:
+	}
+}
+
+func (n *Node) loop() {
+	defer n.wg.Done()
+	n.resetElectionTimer()
+	heartbeat := n.cfg.Clock.AfterFunc(n.cfg.HeartbeatInterval, n.heartbeatTick)
+	defer func() {
+		heartbeat.Stop()
+		if n.electionTimer != nil {
+			n.electionTimer.Stop()
+		}
+	}()
+	for {
+		select {
+		case <-n.quit:
+			n.replica.FailForwards()
+			n.flush()
+			return
+		case ev := <-n.events:
+			n.handle(ev)
+			n.flush()
+		}
+	}
+}
+
+func (n *Node) heartbeatTick() {
+	select {
+	case n.events <- raftEvent{kind: revHeartbeat}:
+	case <-n.quit:
+	}
+}
+
+func (n *Node) handle(ev raftEvent) {
+	switch ev.kind {
+	case revInbound:
+		if n.crashed {
+			return
+		}
+		if n.replica.Deliver(ev.from, ev.payload) {
+			n.resetElectionTimer()
+		}
+	case revPropose:
+		if n.crashed {
+			ev.done(nil, ErrNoLeader)
+			return
+		}
+		n.replica.Propose(ev.cmd, ev.done)
+	case revElection:
+		if n.crashed {
+			return
+		}
+		n.replica.ElectionTimeout()
+		n.replica.FailForwards() // forwarded requests to a dead leader
+		n.resetElectionTimer()
+	case revHeartbeat:
+		if !n.crashed {
+			n.replica.HeartbeatTick()
+		}
+		n.cfg.Clock.AfterFunc(n.cfg.HeartbeatInterval, n.heartbeatTick)
+	case revSetCrashed:
+		n.crashed = ev.crash
+		if ev.crash {
+			n.replica.FailForwards()
+			n.replica.failProposals()
+		} else {
+			n.resetElectionTimer()
+		}
+	}
+}
+
+func (n *Node) resetElectionTimer() {
+	if n.electionTimer != nil {
+		n.electionTimer.Stop()
+	}
+	d := n.cfg.ElectionTimeout + time.Duration(n.rng.Int63n(int64(n.cfg.ElectionTimeout)))
+	n.electionTimer = n.cfg.Clock.AfterFunc(d, func() {
+		select {
+		case n.events <- raftEvent{kind: revElection}:
+		case <-n.quit:
+		}
+	})
+}
+
+func (n *Node) flush() {
+	for _, e := range n.replica.TakeOutbox() {
+		if !n.crashed {
+			n.conn.Send(e.To, e.Payload)
+		}
+	}
+}

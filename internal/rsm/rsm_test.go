@@ -1,0 +1,91 @@
+package rsm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterApplyIncAndRead(t *testing.T) {
+	c := NewCounter()
+	if res := c.Apply(EncodeInc(5)); res != nil {
+		t.Fatalf("inc returned %v", res)
+	}
+	c.Apply(EncodeInc(-2))
+	v, err := DecodeValue(c.Apply(EncodeRead()))
+	if err != nil || v != 3 {
+		t.Fatalf("read = %d, %v; want 3", v, err)
+	}
+	if got := c.Value(); got != 3 {
+		t.Fatalf("Value = %d", got)
+	}
+}
+
+func TestCounterNoopAndGarbage(t *testing.T) {
+	c := NewCounter()
+	c.Apply(EncodeNoop())
+	c.Apply(nil)
+	c.Apply([]byte{0xFF, 1, 2})
+	if got := c.Value(); got != 0 {
+		t.Fatalf("noop/garbage changed value to %d", got)
+	}
+}
+
+func TestCounterSnapshotRestore(t *testing.T) {
+	c := NewCounter()
+	c.Apply(EncodeInc(42))
+	snap := c.Snapshot()
+
+	fresh := NewCounter()
+	if err := fresh.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := fresh.Value(); got != 42 {
+		t.Fatalf("restored value = %d, want 42", got)
+	}
+	if err := fresh.Restore([]byte{}); err == nil {
+		t.Fatal("empty snapshot accepted")
+	}
+	if err := fresh.Restore([]byte{0x80}); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+}
+
+func TestDecodeValueRejectsGarbage(t *testing.T) {
+	if _, err := DecodeValue(nil); err == nil {
+		t.Fatal("nil result accepted")
+	}
+	if _, err := DecodeValue([]byte{0x01, 0x02, 0x03}); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestQuickCounterSumsDeltas(t *testing.T) {
+	f := func(deltas []int16) bool {
+		c := NewCounter()
+		var want int64
+		for _, d := range deltas {
+			c.Apply(EncodeInc(int64(d)))
+			want += int64(d)
+		}
+		v, err := DecodeValue(c.Apply(EncodeRead()))
+		return err == nil && v == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSnapshotRoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		c := NewCounter()
+		c.Apply(EncodeInc(v))
+		fresh := NewCounter()
+		if err := fresh.Restore(c.Snapshot()); err != nil {
+			return false
+		}
+		return fresh.Value() == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

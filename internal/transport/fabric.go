@@ -1,0 +1,137 @@
+package transport
+
+import (
+	"math/rand"
+)
+
+// Fabric is a deterministic single-threaded network for protocol testing.
+// Sends append to a pending pool; Step removes one pending message chosen
+// by the seeded scheduler and delivers it synchronously, so every
+// interleaving of message arrivals is reachable and reproducible from the
+// seed. This is the "protocol scheduler that enforces random interleavings
+// of incoming messages" the paper used to validate its implementation (§4).
+//
+// Fabric is not safe for concurrent use: the scheduler, the handlers it
+// invokes, and any client-operation injection must run on one goroutine.
+type Fabric struct {
+	rng     *rand.Rand
+	eps     map[NodeID]Handler
+	pending []pendingMsg
+	down    map[NodeID]bool
+	blocks  map[[2]NodeID]bool
+	loss    float64
+	stats   Stats
+}
+
+type pendingMsg struct {
+	from, to NodeID
+	payload  []byte
+}
+
+// NewFabric creates a deterministic network seeded with seed.
+func NewFabric(seed int64) *Fabric {
+	return &Fabric{
+		rng:    rand.New(rand.NewSource(seed)),
+		eps:    make(map[NodeID]Handler),
+		down:   make(map[NodeID]bool),
+		blocks: make(map[[2]NodeID]bool),
+	}
+}
+
+// SetLoss drops each delivered message with probability p at Step time.
+func (f *Fabric) SetLoss(p float64) { f.loss = p }
+
+// Join registers a node.
+func (f *Fabric) Join(id NodeID, h Handler) *FabricConn {
+	f.eps[id] = h
+	return &FabricConn{fabric: f, id: id}
+}
+
+// SetDown marks a node crashed or recovered. Pending messages to a crashed
+// node are retained but dropped at delivery time if the node is still down.
+func (f *Fabric) SetDown(id NodeID, down bool) { f.down[id] = down }
+
+// Block drops messages from a to b at delivery time until Unblock.
+func (f *Fabric) Block(from, to NodeID) { f.blocks[[2]NodeID{from, to}] = true }
+
+// Unblock re-enables the link from a to b.
+func (f *Fabric) Unblock(from, to NodeID) { delete(f.blocks, [2]NodeID{from, to}) }
+
+// Pending returns the number of undelivered messages.
+func (f *Fabric) Pending() int { return len(f.pending) }
+
+// Step delivers one pending message chosen uniformly at random and returns
+// true, or returns false if no messages are pending. Handlers run inline
+// and may send further messages, which join the pool.
+func (f *Fabric) Step() bool {
+	for len(f.pending) > 0 {
+		i := f.rng.Intn(len(f.pending))
+		msg := f.pending[i]
+		last := len(f.pending) - 1
+		f.pending[i] = f.pending[last]
+		f.pending = f.pending[:last]
+
+		h, ok := f.eps[msg.to]
+		if !ok || f.down[msg.to] || f.down[msg.from] || f.blocks[[2]NodeID{msg.from, msg.to}] {
+			f.stats.Dropped++
+			continue
+		}
+		if f.loss > 0 && f.rng.Float64() < f.loss {
+			f.stats.Dropped++
+			continue
+		}
+		f.stats.Delivered++
+		f.stats.Bytes += uint64(len(msg.payload))
+		h(msg.from, msg.payload)
+		return true
+	}
+	return false
+}
+
+// Run delivers up to maxSteps messages and returns how many were delivered.
+// It stops early when the network is quiescent.
+func (f *Fabric) Run(maxSteps int) int {
+	n := 0
+	for n < maxSteps && f.Step() {
+		n++
+	}
+	return n
+}
+
+// Drain delivers messages until quiescence (no pending messages). It
+// returns the number of delivered messages and gives up after a safety
+// bound to keep broken protocols from looping forever.
+func (f *Fabric) Drain(bound int) int {
+	n := 0
+	for n < bound && f.Step() {
+		n++
+	}
+	return n
+}
+
+// Stats returns the fabric's counters.
+func (f *Fabric) Stats() Stats { return f.stats }
+
+// FabricConn is a node's endpoint into a Fabric.
+type FabricConn struct {
+	fabric *Fabric
+	id     NodeID
+}
+
+var _ Conn = (*FabricConn)(nil)
+
+// ID implements Conn.
+func (c *FabricConn) ID() NodeID { return c.id }
+
+// Send implements Conn: the message joins the pending pool and is delivered
+// by a future Step.
+func (c *FabricConn) Send(to NodeID, payload []byte) {
+	c.fabric.stats.Sent++
+	c.fabric.pending = append(c.fabric.pending, pendingMsg{from: c.id, to: to, payload: payload})
+}
+
+// Close implements Conn.
+func (c *FabricConn) Close() error {
+	delete(c.fabric.eps, c.id)
+	return nil
+}

@@ -1,0 +1,54 @@
+// Package transport provides the message-passing substrates the replication
+// protocols run on, matching the paper's system model (§2.1): asynchronous
+// processes exchanging unreliable messages that may be delayed, reordered,
+// or lost.
+//
+// Three implementations share one interface:
+//
+//   - Mesh: an in-process asynchronous network of goroutine endpoints with
+//     seeded, configurable delay, loss, duplication, link blocking, and node
+//     crash, used by the benchmark harness and integration tests.
+//   - Fabric: a single-threaded deterministic network whose message
+//     delivery order is driven by a seeded scheduler, used by the
+//     protocol-interleaving checker (the paper tested correctness with "a
+//     protocol scheduler that enforces random interleavings of incoming
+//     messages", §4).
+//   - TCP: a length-prefixed framing transport over net.Conn for
+//     multi-process deployments.
+package transport
+
+import "errors"
+
+// NodeID identifies a process in the system Π = {p1, ..., pN}.
+type NodeID string
+
+// Handler processes one inbound message. Implementations must be safe for
+// the delivery discipline of the transport that invokes them: Mesh and TCP
+// call the handler from exactly one delivery goroutine per endpoint (serial
+// processes, as the paper assumes); Fabric calls it from the scheduler's
+// goroutine.
+type Handler func(from NodeID, payload []byte)
+
+// Conn is a node's endpoint into a transport.
+type Conn interface {
+	// ID returns the local node ID.
+	ID() NodeID
+	// Send transmits payload to the named peer. Delivery is best-effort:
+	// the message may be delayed, reordered, duplicated, or silently
+	// dropped, per the system model. Send never blocks on the receiver.
+	Send(to NodeID, payload []byte)
+	// Close detaches the endpoint. Pending inbound messages are discarded.
+	Close() error
+}
+
+// ErrClosed is returned by operations on a closed transport.
+var ErrClosed = errors.New("transport: closed")
+
+// Stats aggregates transport-level counters, used by the evaluation to
+// report message and byte overhead.
+type Stats struct {
+	Sent      uint64 // messages submitted to Send
+	Delivered uint64 // messages handed to handlers
+	Dropped   uint64 // messages lost (loss model, overflow, or down node)
+	Bytes     uint64 // payload bytes delivered
+}

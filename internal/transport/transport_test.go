@@ -1,0 +1,404 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// collect accumulates delivered messages behind a mutex so tests can make
+// assertions after the transport quiesces.
+type collect struct {
+	mu   sync.Mutex
+	msgs []string
+}
+
+func (c *collect) handler(from NodeID, payload []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.msgs = append(c.msgs, string(from)+":"+string(payload))
+}
+
+func (c *collect) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.msgs)
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}
+
+func TestMeshDelivers(t *testing.T) {
+	m := NewMesh()
+	defer m.Close()
+	var got collect
+	a := m.Join("a", func(NodeID, []byte) {})
+	m.Join("b", got.handler)
+	for i := 0; i < 10; i++ {
+		a.Send("b", []byte(fmt.Sprintf("m%d", i)))
+	}
+	waitFor(t, func() bool { return got.len() == 10 })
+	st := m.Stats()
+	if st.Sent != 10 || st.Delivered != 10 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMeshSelfSend(t *testing.T) {
+	m := NewMesh()
+	defer m.Close()
+	var got collect
+	var a *MeshConn
+	a = m.Join("a", got.handler)
+	a.Send("a", []byte("loop"))
+	waitFor(t, func() bool { return got.len() == 1 })
+}
+
+func TestMeshLossDropsSome(t *testing.T) {
+	m := NewMesh(WithLoss(0.5), WithSeed(7))
+	defer m.Close()
+	var delivered atomic.Int64
+	a := m.Join("a", func(NodeID, []byte) {})
+	m.Join("b", func(NodeID, []byte) { delivered.Add(1) })
+	const n = 1000
+	for i := 0; i < n; i++ {
+		a.Send("b", []byte("x"))
+	}
+	waitFor(t, func() bool {
+		st := m.Stats()
+		return st.Delivered+st.Dropped == n
+	})
+	st := m.Stats()
+	if st.Dropped < n/4 || st.Dropped > 3*n/4 {
+		t.Fatalf("dropped %d of %d with loss=0.5", st.Dropped, n)
+	}
+	if int64(st.Delivered) != delivered.Load() {
+		t.Fatalf("stats delivered %d != handler count %d", st.Delivered, delivered.Load())
+	}
+}
+
+func TestMeshDownNodeDropsTraffic(t *testing.T) {
+	m := NewMesh()
+	defer m.Close()
+	var got collect
+	a := m.Join("a", func(NodeID, []byte) {})
+	m.Join("b", got.handler)
+	m.SetDown("b", true)
+	a.Send("b", []byte("lost"))
+	waitFor(t, func() bool { return m.Stats().Dropped == 1 })
+	m.SetDown("b", false)
+	a.Send("b", []byte("ok"))
+	waitFor(t, func() bool { return got.len() == 1 })
+}
+
+func TestMeshPartitionAndHeal(t *testing.T) {
+	m := NewMesh()
+	defer m.Close()
+	var got collect
+	a := m.Join("a", func(NodeID, []byte) {})
+	m.Join("b", got.handler)
+	m.Join("c", func(NodeID, []byte) {})
+	m.Partition([]NodeID{"a"}, []NodeID{"b", "c"})
+	a.Send("b", []byte("blocked"))
+	waitFor(t, func() bool { return m.Stats().Dropped == 1 })
+	m.Heal()
+	a.Send("b", []byte("through"))
+	waitFor(t, func() bool { return got.len() == 1 })
+}
+
+func TestMeshBlockIsDirectional(t *testing.T) {
+	m := NewMesh()
+	defer m.Close()
+	var gotA, gotB collect
+	a := m.Join("a", gotA.handler)
+	b := m.Join("b", gotB.handler)
+	m.Block("a", "b")
+	a.Send("b", []byte("x")) // dropped
+	b.Send("a", []byte("y")) // delivered
+	waitFor(t, func() bool { return gotA.len() == 1 })
+	if gotB.len() != 0 {
+		t.Fatal("blocked direction delivered")
+	}
+	m.Unblock("a", "b")
+	a.Send("b", []byte("x2"))
+	waitFor(t, func() bool { return gotB.len() == 1 })
+}
+
+func TestMeshDelayReorders(t *testing.T) {
+	m := NewMesh(WithDelay(0, 3*time.Millisecond), WithSeed(42))
+	defer m.Close()
+	var got collect
+	a := m.Join("a", func(NodeID, []byte) {})
+	m.Join("b", got.handler)
+	const n = 200
+	for i := 0; i < n; i++ {
+		a.Send("b", []byte(fmt.Sprintf("%04d", i)))
+	}
+	waitFor(t, func() bool { return got.len() == n })
+	inOrder := true
+	got.mu.Lock()
+	for i := 1; i < len(got.msgs); i++ {
+		if got.msgs[i] < got.msgs[i-1] {
+			inOrder = false
+			break
+		}
+	}
+	got.mu.Unlock()
+	if inOrder {
+		t.Fatal("expected at least one reordering under random delay")
+	}
+}
+
+func TestMeshDuplication(t *testing.T) {
+	m := NewMesh(WithDuplication(1.0), WithSeed(1))
+	defer m.Close()
+	var got collect
+	a := m.Join("a", func(NodeID, []byte) {})
+	m.Join("b", got.handler)
+	a.Send("b", []byte("dup"))
+	waitFor(t, func() bool { return got.len() == 2 })
+}
+
+func TestMeshCloseIdempotent(t *testing.T) {
+	m := NewMesh()
+	c := m.Join("a", func(NodeID, []byte) {})
+	m.Close()
+	m.Close()
+	c.Send("b", []byte("after close")) // must not panic
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeshSendToUnknownPeer(t *testing.T) {
+	m := NewMesh()
+	defer m.Close()
+	a := m.Join("a", func(NodeID, []byte) {})
+	a.Send("ghost", []byte("x"))
+	waitFor(t, func() bool { return m.Stats().Dropped == 1 })
+}
+
+func TestFabricDeterministicInterleaving(t *testing.T) {
+	run := func(seed int64) []string {
+		f := NewFabric(seed)
+		var log []string
+		a := f.Join("a", func(from NodeID, p []byte) { log = append(log, "a<-"+string(p)) })
+		f.Join("b", func(from NodeID, p []byte) { log = append(log, "b<-"+string(p)) })
+		for i := 0; i < 5; i++ {
+			a.Send("b", []byte(fmt.Sprintf("m%d", i)))
+		}
+		f.Drain(100)
+		return log
+	}
+	first := run(123)
+	second := run(123)
+	if len(first) != 5 {
+		t.Fatalf("delivered %d, want 5", len(first))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("same seed diverged: %v vs %v", first, second)
+		}
+	}
+	other := run(456)
+	same := true
+	for i := range first {
+		if first[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Log("seeds 123 and 456 produced the same order (possible but unlikely)")
+	}
+}
+
+func TestFabricHandlersCanSend(t *testing.T) {
+	f := NewFabric(1)
+	var finalGot string
+	var b, c *FabricConn
+	a := f.Join("a", func(NodeID, []byte) {})
+	b = f.Join("b", func(from NodeID, p []byte) { c.Send("c", append([]byte("fwd:"), p...)) })
+	_ = b
+	c = f.Join("c", func(from NodeID, p []byte) { finalGot = string(p) })
+	// Register c's own conn under a separate variable; sending from b's
+	// handler uses c's conn (the identity only matters for routing).
+	a.Send("b", []byte("x"))
+	f.Drain(100)
+	if finalGot != "fwd:x" {
+		t.Fatalf("got %q", finalGot)
+	}
+}
+
+func TestFabricDownAndBlocked(t *testing.T) {
+	f := NewFabric(9)
+	got := 0
+	a := f.Join("a", func(NodeID, []byte) {})
+	f.Join("b", func(NodeID, []byte) { got++ })
+	f.SetDown("b", true)
+	a.Send("b", []byte("x"))
+	f.Drain(10)
+	if got != 0 {
+		t.Fatal("delivered to down node")
+	}
+	f.SetDown("b", false)
+	f.Block("a", "b")
+	a.Send("b", []byte("x"))
+	f.Drain(10)
+	if got != 0 {
+		t.Fatal("delivered over blocked link")
+	}
+	f.Unblock("a", "b")
+	a.Send("b", []byte("x"))
+	f.Drain(10)
+	if got != 1 {
+		t.Fatalf("got %d, want 1", got)
+	}
+}
+
+func TestFabricLoss(t *testing.T) {
+	f := NewFabric(4)
+	f.SetLoss(1.0)
+	got := 0
+	a := f.Join("a", func(NodeID, []byte) {})
+	f.Join("b", func(NodeID, []byte) { got++ })
+	for i := 0; i < 10; i++ {
+		a.Send("b", []byte("x"))
+	}
+	f.Drain(100)
+	if got != 0 {
+		t.Fatalf("loss=1.0 delivered %d", got)
+	}
+	if f.Stats().Dropped != 10 {
+		t.Fatalf("dropped = %d", f.Stats().Dropped)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	var gotB collect
+	readyA := make(chan *TCP, 1)
+	// Bring up b first on an ephemeral port, then a with b's address.
+	b, err := NewTCP("b", "127.0.0.1:0", nil, func(from NodeID, p []byte) {
+		gotB.handler(from, p)
+		// Reply to a through our own transport.
+		tb := <-readyA
+		_ = tb // a's transport, to learn its address, is wired below
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	var gotA collect
+	a, err := NewTCP("a", "127.0.0.1:0", map[NodeID]string{"b": b.Addr()}, gotA.handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	readyA <- a
+
+	a.Send("b", []byte("ping"))
+	waitFor(t, func() bool { return gotB.len() == 1 })
+	gotB.mu.Lock()
+	msg := gotB.msgs[0]
+	gotB.mu.Unlock()
+	if msg != "a:ping" {
+		t.Fatalf("b received %q", msg)
+	}
+	st := a.Stats()
+	if st.Sent != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTCPBidirectional(t *testing.T) {
+	var gotA, gotB collect
+	b, err := NewTCP("b", "127.0.0.1:0", nil, gotB.handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a, err := NewTCP("a", "127.0.0.1:0", map[NodeID]string{"b": b.Addr()}, gotA.handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	// b learns a's address after a is up (address books can be asymmetric).
+	b.peers["a"] = a.Addr()
+
+	for i := 0; i < 50; i++ {
+		a.Send("b", []byte(fmt.Sprintf("to-b-%d", i)))
+		b.Send("a", []byte(fmt.Sprintf("to-a-%d", i)))
+	}
+	waitFor(t, func() bool { return gotA.len() == 50 && gotB.len() == 50 })
+}
+
+func TestTCPSelfSend(t *testing.T) {
+	var got collect
+	a, err := NewTCP("a", "127.0.0.1:0", nil, got.handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.Send("a", []byte("self"))
+	waitFor(t, func() bool { return got.len() == 1 })
+}
+
+func TestTCPSendToUnknownPeerDrops(t *testing.T) {
+	a, err := NewTCP("a", "127.0.0.1:0", nil, func(NodeID, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.Send("nowhere", []byte("x"))
+	if st := a.Stats(); st.Dropped != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTCPPeerCrashDropsThenRecovers(t *testing.T) {
+	var gotB atomic.Int64
+	b, err := NewTCP("b", "127.0.0.1:0", nil, func(NodeID, []byte) { gotB.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := b.Addr()
+	a, err := NewTCP("a", "127.0.0.1:0", map[NodeID]string{"b": addr}, func(NodeID, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	a.Send("b", []byte("one"))
+	waitFor(t, func() bool { return gotB.Load() == 1 })
+	b.Close()
+
+	// Sends while b is down are eventually detected and dropped (the first
+	// write after a close may appear to succeed due to kernel buffering).
+	waitFor(t, func() bool {
+		a.Send("b", []byte("void"))
+		return a.Stats().Dropped > 0
+	})
+
+	// b restarts on the same address; a redials lazily and delivery resumes.
+	b2, err := NewTCP("b", addr, nil, func(NodeID, []byte) { gotB.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	waitFor(t, func() bool {
+		a.Send("b", []byte("again"))
+		return gotB.Load() >= 2
+	})
+}

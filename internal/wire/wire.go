@@ -1,0 +1,161 @@
+// Package wire provides the low-level deterministic binary codec shared by
+// every protocol message format in this repository (CRDT Paxos, Raft,
+// Multi-Paxos, GLA) and by the TCP framing layer. It is a thin layer over
+// encoding/binary varints with length-prefixed strings and byte slices.
+//
+// Writers never fail; Readers accumulate the first error and report it from
+// Err, so decoders can be written as straight-line field reads followed by a
+// single error check.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrTruncated is reported when a reader runs out of input mid-field.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// Writer incrementally builds a wire-encoded message.
+type Writer struct {
+	b []byte
+}
+
+// NewWriter returns a writer with the given capacity hint.
+func NewWriter(sizeHint int) *Writer {
+	return &Writer{b: make([]byte, 0, sizeHint)}
+}
+
+// Bytes returns the encoded message. The writer must not be reused after.
+func (w *Writer) Bytes() []byte { return w.b }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.b) }
+
+// Byte appends a single byte (used for message type tags).
+func (w *Writer) Byte(v byte) { w.b = append(w.b, v) }
+
+// Bool appends a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.b = append(w.b, 1)
+	} else {
+		w.b = append(w.b, 0)
+	}
+}
+
+// Uvarint appends an unsigned varint.
+func (w *Writer) Uvarint(v uint64) { w.b = binary.AppendUvarint(w.b, v) }
+
+// Varint appends a signed varint.
+func (w *Writer) Varint(v int64) { w.b = binary.AppendVarint(w.b, v) }
+
+// Str appends a length-prefixed string.
+func (w *Writer) Str(s string) {
+	w.Uvarint(uint64(len(s)))
+	w.b = append(w.b, s...)
+}
+
+// Raw appends a length-prefixed byte slice.
+func (w *Writer) Raw(p []byte) {
+	w.Uvarint(uint64(len(p)))
+	w.b = append(w.b, p...)
+}
+
+// Reader decodes a wire-encoded message produced by Writer.
+type Reader struct {
+	b   []byte
+	err error
+}
+
+// NewReader returns a reader over p. The reader borrows p; callers must not
+// mutate it while decoding.
+func NewReader(p []byte) *Reader { return &Reader{b: p} }
+
+// Err returns the first decoding error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Done returns an error if decoding failed or input remains.
+func (r *Reader) Done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.b) != 0 {
+		return fmt.Errorf("wire: %d trailing bytes", len(r.b))
+	}
+	return nil
+}
+
+func (r *Reader) fail() {
+	if r.err == nil {
+		r.err = ErrTruncated
+	}
+}
+
+// Byte reads a single byte.
+func (r *Reader) Byte() byte {
+	if r.err != nil || len(r.b) < 1 {
+		r.fail()
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+// Bool reads a boolean.
+func (r *Reader) Bool() bool { return r.Byte() != 0 }
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+// Varint reads a signed varint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+// Str reads a length-prefixed string.
+func (r *Reader) Str() string {
+	n := r.Uvarint()
+	if r.err != nil || uint64(len(r.b)) < n {
+		r.fail()
+		return ""
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s
+}
+
+// Raw reads a length-prefixed byte slice. The returned slice is a copy.
+func (r *Reader) Raw() []byte {
+	n := r.Uvarint()
+	if r.err != nil || uint64(len(r.b)) < n {
+		r.fail()
+		return nil
+	}
+	p := make([]byte, n)
+	copy(p, r.b[:n])
+	r.b = r.b[n:]
+	return p
+}
