@@ -1,7 +1,9 @@
 // Command bench regenerates the paper's evaluation figures (§4) against
 // the Go reimplementation: throughput sweeps (Figure 1), tail latency
 // (Figure 2), read round-trip distributions (Figure 3), and the
-// node-failure timeline (Figure 4).
+// node-failure timeline (Figure 4). Beyond the paper, -figure keys runs
+// the sharded-store scaling sweep: aggregate throughput vs key count with
+// a fixed per-key client load.
 //
 // The default scale finishes in minutes; raise -duration and -clients to
 // approach the paper's 10-minute, 4096-client runs.
@@ -11,6 +13,7 @@
 //	bench -figure all
 //	bench -figure 1 -duration 10s -clients 1,8,64,512,4096
 //	bench -figure 3 -batch 5ms
+//	bench -figure keys -keys 1,4,16,64,256 -per-key 2
 package main
 
 import (
@@ -42,10 +45,16 @@ func run() error {
 		minDelay = flag.Duration("min-delay", 50*time.Microsecond, "emulated per-message network delay, lower bound")
 		maxDelay = flag.Duration("max-delay", 200*time.Microsecond, "emulated per-message network delay, upper bound")
 		seed     = flag.Int64("seed", 1, "network RNG seed")
+		keys     = flag.String("keys", "1,4,16,64", "comma-separated key counts for the sharded-store sweep (figure keys)")
+		perKey   = flag.Int("per-key", 2, "closed-loop clients per key for the sharded-store sweep")
 	)
 	flag.Parse()
 
 	sweep, err := parseClients(*clients)
+	if err != nil {
+		return err
+	}
+	keySweep, err := parseClients(*keys)
 	if err != nil {
 		return err
 	}
@@ -70,13 +79,15 @@ func run() error {
 			return err
 		case "4":
 			return bench.Figure4(out, scale, 64)
+		case "keys":
+			return bench.FigureKeys(out, scale, keySweep, *perKey)
 		default:
 			return fmt.Errorf("unknown figure %q", fig)
 		}
 	}
 
 	if *figure == "all" {
-		for _, fig := range []string{"1", "2", "3", "4"} {
+		for _, fig := range []string{"1", "2", "3", "4", "keys"} {
 			if err := runOne(fig); err != nil {
 				return err
 			}
@@ -93,7 +104,7 @@ func parseClients(s string) ([]int, error) {
 	for _, p := range parts {
 		n, err := strconv.Atoi(strings.TrimSpace(p))
 		if err != nil || n <= 0 {
-			return nil, fmt.Errorf("bad client count %q", p)
+			return nil, fmt.Errorf("bad count %q (want positive integers)", p)
 		}
 		out = append(out, n)
 	}

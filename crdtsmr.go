@@ -2,15 +2,15 @@
 // state machine replication of state-based CRDTs without logs or leaders,
 // implementing Skrzypczak, Schintke, Schütt (PODC 2019).
 //
-// A Cluster replicates one CRDT payload over N nodes. Updates complete in
-// a single round trip by broadcasting merged state; linearizable reads use
-// the paper's lattice-agreement query protocol (one round trip on a quiet
-// replica set, two under contention, with retries only on conflicts).
-// There is no leader to elect and no command log to truncate: each
-// replica's protocol state beyond the payload itself is a single round
-// counter.
+// A Cluster replicates a keyspace of CRDT objects over N nodes. Updates
+// complete in a single round trip by broadcasting merged state;
+// linearizable reads use the paper's lattice-agreement query protocol (one
+// round trip on a quiet replica set, two under contention, with retries
+// only on conflicts). There is no leader to elect and no command log to
+// truncate: each replica's protocol state beyond the payload itself is a
+// single round counter per object.
 //
-// Quickstart:
+// Quickstart (single object):
 //
 //	cl, _ := crdtsmr.NewLocalCluster(3, crdtsmr.NewGCounter())
 //	defer cl.Close()
@@ -18,10 +18,27 @@
 //	_ = ctr.Inc(ctx, 1)                 // linearizable update, 1 round trip
 //	v, _ := ctr.Value(ctx)              // linearizable read
 //
+// Multi-object store: because the protocol keeps no cross-command log,
+// replication instances compose per key — every key is an independent
+// lightweight SMR group sharing the node's event loop and connection, with
+// no ordering machinery between keys. Object(key) addresses one of them;
+// objects are instantiated lazily on first touch and each key is
+// linearizable independently:
+//
+//	cl, _ := crdtsmr.NewLocalCluster(3, crdtsmr.NewGCounter())
+//	views := cl.Object("article/42").Counter("n1")
+//	_ = views.Inc(ctx, 1)               // independent of every other key
+//	v, _ := cl.Object("article/42").Counter("n3").Value(ctx)
+//
+// Keys default to fresh zero values of the cluster's payload type; use
+// WithObjectInitial to give chosen keys different CRDT types (counters,
+// sets, and registers can share one cluster).
+//
 // The packages under internal/ hold the implementation: the protocol
 // (internal/core), the CRDT library (internal/crdt), transports
-// (internal/transport), the runtime (internal/cluster), the Multi-Paxos
-// and Raft baselines, the correctness checker, and the benchmark harness.
+// (internal/transport), the runtime (internal/cluster), the sharded store
+// (internal/store), the Multi-Paxos and Raft baselines, the correctness
+// checker, and the benchmark harness.
 package crdtsmr
 
 import (
@@ -32,6 +49,7 @@ import (
 	"crdtsmr/internal/cluster"
 	"crdtsmr/internal/core"
 	"crdtsmr/internal/crdt"
+	"crdtsmr/internal/store"
 	"crdtsmr/internal/transport"
 )
 
@@ -51,6 +69,8 @@ type (
 	PNCounter = crdt.PNCounter
 	// ORSet is an observed-remove (add-wins) set.
 	ORSet = crdt.ORSet
+	// LWWRegister is a last-writer-wins register.
+	LWWRegister = crdt.LWWRegister
 	// LWWMap is a last-writer-wins map.
 	LWWMap = crdt.LWWMap
 )
@@ -63,21 +83,28 @@ var (
 	NewPNCounter = crdt.NewPNCounter
 	// NewORSet returns an empty observed-remove set.
 	NewORSet = crdt.NewORSet
+	// NewLWWRegister returns an unwritten last-writer-wins register.
+	NewLWWRegister = crdt.NewLWWRegister
 	// NewLWWMap returns an empty last-writer-wins map.
 	NewLWWMap = crdt.NewLWWMap
 )
+
+// DefaultKey is the object key the single-object API (Update, Query,
+// Counter, Set) operates on.
+const DefaultKey = cluster.DefaultKey
 
 // Option configures a cluster.
 type Option func(*options)
 
 type options struct {
-	batch     time.Duration
-	meshDelay [2]time.Duration
-	seed      int64
+	batch         time.Duration
+	meshDelay     [2]time.Duration
+	seed          int64
+	initialForKey func(key string) State
 }
 
-// WithBatching enables per-replica command batching (§3.6 of the paper);
-// the paper's evaluation uses 5 ms windows.
+// WithBatching enables per-replica command batching (§3.6 of the paper),
+// applied per key; the paper's evaluation uses 5 ms windows.
 func WithBatching(window time.Duration) Option {
 	return func(o *options) { o.batch = window }
 }
@@ -93,16 +120,25 @@ func WithSeed(seed int64) Option {
 	return func(o *options) { o.seed = seed }
 }
 
-// Cluster is a running replica group for one CRDT payload.
+// WithObjectInitial sets the initial payload per object key, letting keys
+// hold different CRDT types. The function must be deterministic (every
+// replica evaluates it independently when a key is first touched);
+// returning nil rejects the key. Keys it does not special-case should
+// return a fresh zero payload of the desired type.
+func WithObjectInitial(initial func(key string) State) Option {
+	return func(o *options) { o.initialForKey = initial }
+}
+
+// Cluster is a running replica group serving a keyspace of CRDT objects.
 type Cluster struct {
-	mesh  *transport.Mesh
-	inner *cluster.Cluster
-	ids   []NodeID
+	mesh *transport.Mesh
+	st   *store.Store
+	ids  []NodeID
 }
 
 // NewLocalCluster starts n replicas in this process connected by an
-// emulated network, replicating the given initial payload. Replica IDs are
-// "n1".."nN".
+// emulated network. initial is the payload of the default object and the
+// payload type fresh keys start from. Replica IDs are "n1".."nN".
 func NewLocalCluster(n int, initial State, opts ...Option) (*Cluster, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("crdtsmr: need at least one replica, got %d", n)
@@ -121,9 +157,10 @@ func NewLocalCluster(n int, initial State, opts ...Option) (*Cluster, error) {
 	for i := range ids {
 		ids[i] = NodeID(fmt.Sprintf("n%d", i+1))
 	}
-	inner, err := cluster.New(mesh, cluster.Config{
+	st, err := store.New(mesh, cluster.Config{
 		Members:       ids,
 		Initial:       initial,
+		InitialForKey: o.initialForKey,
 		Options:       core.DefaultOptions(),
 		BatchInterval: o.batch,
 	})
@@ -131,64 +168,110 @@ func NewLocalCluster(n int, initial State, opts ...Option) (*Cluster, error) {
 		mesh.Close()
 		return nil, err
 	}
-	return &Cluster{mesh: mesh, inner: inner, ids: ids}, nil
+	return &Cluster{mesh: mesh, st: st, ids: ids}, nil
 }
 
 // NodeIDs returns the replica IDs in order.
 func (c *Cluster) NodeIDs() []NodeID { return append([]NodeID(nil), c.ids...) }
 
-// Update applies a monotone update function at the named replica and waits
-// for it to be durable on a quorum (one round trip).
+// Update applies a monotone update function to the default object at the
+// named replica and waits for it to be durable on a quorum (one round
+// trip).
 func (c *Cluster) Update(ctx context.Context, at NodeID, fu Update) error {
-	node := c.inner.Node(at)
-	if node == nil {
-		return fmt.Errorf("crdtsmr: unknown replica %s", at)
-	}
-	_, err := node.Update(ctx, fu)
+	_, err := c.st.Update(ctx, at, DefaultKey, fu)
 	return err
 }
 
-// Query learns a linearizable state at the named replica.
+// Query learns a linearizable state of the default object at the named
+// replica.
 func (c *Cluster) Query(ctx context.Context, at NodeID) (State, QueryStats, error) {
-	node := c.inner.Node(at)
-	if node == nil {
-		return nil, QueryStats{}, fmt.Errorf("crdtsmr: unknown replica %s", at)
-	}
-	return node.Query(ctx)
+	return c.st.Query(ctx, at, DefaultKey)
 }
+
+// Keys returns the object keys instantiated at the named replica, sorted
+// (the default object is key "").
+func (c *Cluster) Keys(at NodeID) []string { return c.st.Keys(at) }
 
 // Crash simulates a crash of the named replica; its state is retained
 // (crash-recovery model).
-func (c *Cluster) Crash(id NodeID) { c.inner.Crash(id) }
+func (c *Cluster) Crash(id NodeID) { c.st.Crash(id) }
 
 // Recover brings a crashed replica back.
-func (c *Cluster) Recover(id NodeID) { c.inner.Recover(id) }
+func (c *Cluster) Recover(id NodeID) { c.st.Recover(id) }
 
 // Close stops every replica.
 func (c *Cluster) Close() {
-	c.inner.Close()
+	c.st.Close()
 	c.mesh.Close()
 }
 
-// Counter returns a typed handle for a replicated G-Counter payload, bound
-// to the given replica. All handle operations are linearizable.
+// Object addresses one key of the cluster's keyspace. Each key is an
+// independent replication instance: linearizable on its own, ordered with
+// no other key, instantiated on first touch.
+func (c *Cluster) Object(key string) *Object {
+	return &Object{c: c, key: key}
+}
+
+// Object is a handle on one replicated CRDT object of the keyspace.
+type Object struct {
+	c   *Cluster
+	key string
+}
+
+// Key returns the object's key.
+func (o *Object) Key() string { return o.key }
+
+// Update applies a monotone update function to this object at the named
+// replica (one round trip).
+func (o *Object) Update(ctx context.Context, at NodeID, fu Update) error {
+	_, err := o.c.st.Update(ctx, at, o.key, fu)
+	return err
+}
+
+// Query learns a linearizable state of this object at the named replica.
+func (o *Object) Query(ctx context.Context, at NodeID) (State, QueryStats, error) {
+	return o.c.st.Query(ctx, at, o.key)
+}
+
+// Counter returns a typed G-Counter handle on this object, bound to the
+// given replica.
+func (o *Object) Counter(at NodeID) *Counter {
+	return &Counter{obj: o, at: at}
+}
+
+// Set returns a typed OR-Set handle on this object, bound to the given
+// replica. A Set handle is not safe for concurrent use; create one handle
+// per client goroutine.
+func (o *Object) Set(at NodeID) *Set {
+	return &Set{obj: o, at: at}
+}
+
+// Register returns a typed last-writer-wins register handle on this
+// object, bound to the given replica.
+func (o *Object) Register(at NodeID) *Register {
+	return &Register{obj: o, at: at}
+}
+
+// Counter returns a typed handle for the default object's G-Counter
+// payload, bound to the given replica. All handle operations are
+// linearizable. For keyed counters use Object(key).Counter(at).
 func (c *Cluster) Counter(at NodeID) *Counter {
-	return &Counter{c: c, at: at}
+	return c.Object(DefaultKey).Counter(at)
 }
 
 // Counter is a typed client for a replicated G-Counter.
 type Counter struct {
-	c  *Cluster
-	at NodeID
+	obj *Object
+	at  NodeID
 }
 
 // Inc increments the counter by n.
 func (h *Counter) Inc(ctx context.Context, n uint64) error {
 	slot := string(h.at)
-	return h.c.Update(ctx, h.at, func(s State) (State, error) {
+	return h.obj.Update(ctx, h.at, func(s State) (State, error) {
 		g, ok := s.(*GCounter)
 		if !ok {
-			return nil, fmt.Errorf("crdtsmr: payload is %T, not a G-Counter", s)
+			return nil, fmt.Errorf("crdtsmr: payload of %q is %T, not a G-Counter", h.obj.key, s)
 		}
 		return g.Inc(slot, n), nil
 	})
@@ -196,27 +279,28 @@ func (h *Counter) Inc(ctx context.Context, n uint64) error {
 
 // Value reads the counter.
 func (h *Counter) Value(ctx context.Context) (uint64, error) {
-	s, _, err := h.c.Query(ctx, h.at)
+	s, _, err := h.obj.Query(ctx, h.at)
 	if err != nil {
 		return 0, err
 	}
 	g, ok := s.(*GCounter)
 	if !ok {
-		return 0, fmt.Errorf("crdtsmr: payload is %T, not a G-Counter", s)
+		return 0, fmt.Errorf("crdtsmr: payload of %q is %T, not a G-Counter", h.obj.key, s)
 	}
 	return g.Value(), nil
 }
 
-// Set returns a typed handle for a replicated OR-Set payload bound to the
-// given replica. A Set handle is not safe for concurrent use; create one
-// handle per client goroutine.
+// Set returns a typed handle for the default object's OR-Set payload bound
+// to the given replica. A Set handle is not safe for concurrent use;
+// create one handle per client goroutine. For keyed sets use
+// Object(key).Set(at).
 func (c *Cluster) Set(at NodeID) *Set {
-	return &Set{c: c, at: at}
+	return c.Object(DefaultKey).Set(at)
 }
 
 // Set is a typed client for a replicated observed-remove set.
 type Set struct {
-	c   *Cluster
+	obj *Object
 	at  NodeID
 	seq uint64
 }
@@ -226,10 +310,10 @@ func (h *Set) Add(ctx context.Context, element string) error {
 	h.seq++
 	seq := h.seq
 	actor := string(h.at) + "/" + element
-	return h.c.Update(ctx, h.at, func(s State) (State, error) {
+	return h.obj.Update(ctx, h.at, func(s State) (State, error) {
 		set, ok := s.(*ORSet)
 		if !ok {
-			return nil, fmt.Errorf("crdtsmr: payload is %T, not an OR-Set", s)
+			return nil, fmt.Errorf("crdtsmr: payload of %q is %T, not an OR-Set", h.obj.key, s)
 		}
 		return set.Add(element, actor, seq), nil
 	})
@@ -237,10 +321,10 @@ func (h *Set) Add(ctx context.Context, element string) error {
 
 // Remove deletes the element's observed additions.
 func (h *Set) Remove(ctx context.Context, element string) error {
-	return h.c.Update(ctx, h.at, func(s State) (State, error) {
+	return h.obj.Update(ctx, h.at, func(s State) (State, error) {
 		set, ok := s.(*ORSet)
 		if !ok {
-			return nil, fmt.Errorf("crdtsmr: payload is %T, not an OR-Set", s)
+			return nil, fmt.Errorf("crdtsmr: payload of %q is %T, not an OR-Set", h.obj.key, s)
 		}
 		return set.Remove(element), nil
 	})
@@ -248,13 +332,48 @@ func (h *Set) Remove(ctx context.Context, element string) error {
 
 // Elements reads the membership, linearizably.
 func (h *Set) Elements(ctx context.Context) ([]string, error) {
-	s, _, err := h.c.Query(ctx, h.at)
+	s, _, err := h.obj.Query(ctx, h.at)
 	if err != nil {
 		return nil, err
 	}
 	set, ok := s.(*ORSet)
 	if !ok {
-		return nil, fmt.Errorf("crdtsmr: payload is %T, not an OR-Set", s)
+		return nil, fmt.Errorf("crdtsmr: payload of %q is %T, not an OR-Set", h.obj.key, s)
 	}
 	return set.Elements(), nil
+}
+
+// Register is a typed client for a replicated last-writer-wins register.
+type Register struct {
+	obj *Object
+	at  NodeID
+}
+
+// Store writes the register. Concurrent writes resolve last-writer-wins by
+// wall-clock timestamp with the replica ID as tie-breaker.
+func (h *Register) Store(ctx context.Context, value string) error {
+	ts := uint64(time.Now().UnixNano())
+	actor := string(h.at)
+	return h.obj.Update(ctx, h.at, func(s State) (State, error) {
+		reg, ok := s.(*LWWRegister)
+		if !ok {
+			return nil, fmt.Errorf("crdtsmr: payload of %q is %T, not an LWW-Register", h.obj.key, s)
+		}
+		return reg.Set(value, ts, actor), nil
+	})
+}
+
+// Load reads the register, linearizably. ok is false if the register was
+// never written.
+func (h *Register) Load(ctx context.Context) (value string, ok bool, err error) {
+	s, _, err := h.obj.Query(ctx, h.at)
+	if err != nil {
+		return "", false, err
+	}
+	reg, isReg := s.(*LWWRegister)
+	if !isReg {
+		return "", false, fmt.Errorf("crdtsmr: payload of %q is %T, not an LWW-Register", h.obj.key, s)
+	}
+	val, ts, _ := reg.Value()
+	return val, ts != 0, nil
 }

@@ -2,6 +2,7 @@ package crdtsmr
 
 import (
 	"context"
+	"strings"
 	"testing"
 	"time"
 )
@@ -144,5 +145,153 @@ func TestFacadeBatchingOption(t *testing.T) {
 	}
 	if v != 5 {
 		t.Fatalf("value = %d, want 5", v)
+	}
+}
+
+func TestFacadeObjectKeysIndependent(t *testing.T) {
+	cl, err := NewLocalCluster(3, NewGCounter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := testCtx(t)
+
+	views := cl.Object("article/1").Counter("n1")
+	likes := cl.Object("article/2").Counter("n2")
+	if err := views.Inc(ctx, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := likes.Inc(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reads at other replicas see each key independently.
+	v, err := cl.Object("article/1").Counter("n3").Value(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 5 {
+		t.Fatalf("article/1 = %d, want 5", v)
+	}
+	v, err = cl.Object("article/2").Counter("n1").Value(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 {
+		t.Fatalf("article/2 = %d, want 2", v)
+	}
+
+	// The default object is untouched by keyed traffic.
+	v, err = cl.Counter("n1").Value(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Fatalf("default object = %d, want 0", v)
+	}
+	if key := cl.Object("article/1").Key(); key != "article/1" {
+		t.Fatalf("key = %q", key)
+	}
+}
+
+func TestFacadeObjectMixedTypes(t *testing.T) {
+	cl, err := NewLocalCluster(3, NewGCounter(), WithObjectInitial(func(key string) State {
+		switch {
+		case strings.HasPrefix(key, "set/"):
+			return NewORSet()
+		case strings.HasPrefix(key, "reg/"):
+			return NewLWWRegister()
+		default:
+			return NewGCounter()
+		}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := testCtx(t)
+
+	if err := cl.Object("hits").Counter("n1").Inc(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	members := cl.Object("set/team").Set("n2")
+	if err := members.Add(ctx, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	banner := cl.Object("reg/banner").Register("n3")
+	if err := banner.Store(ctx, "hello"); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := cl.Object("set/team").Set("n1").Elements(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "alice" {
+		t.Fatalf("set = %v", got)
+	}
+	val, ok, err := cl.Object("reg/banner").Register("n2").Load(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || val != "hello" {
+		t.Fatalf("register = %q ok=%t, want hello", val, ok)
+	}
+	// Wrong-typed handles fail cleanly instead of corrupting the payload.
+	if err := cl.Object("set/team").Counter("n1").Inc(ctx, 1); err == nil {
+		t.Fatal("counter handle on a set key should fail")
+	}
+}
+
+func TestFacadeRegisterLastWriterWins(t *testing.T) {
+	cl, err := NewLocalCluster(3, NewLWWRegister())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := testCtx(t)
+
+	reg := cl.Object(DefaultKey).Register("n1")
+	if _, ok, err := reg.Load(ctx); err != nil || ok {
+		t.Fatalf("unwritten register: ok=%t err=%v", ok, err)
+	}
+	if err := reg.Store(ctx, "first"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Object(DefaultKey).Register("n2").Store(ctx, "second"); err != nil {
+		t.Fatal(err)
+	}
+	val, ok, err := cl.Object(DefaultKey).Register("n3").Load(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || val != "second" {
+		t.Fatalf("register = %q ok=%t, want second (later write wins)", val, ok)
+	}
+}
+
+func TestFacadeKeysListing(t *testing.T) {
+	cl, err := NewLocalCluster(3, NewGCounter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := testCtx(t)
+
+	if err := cl.Object("a").Counter("n1").Inc(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Object("b").Counter("n1").Inc(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	keys := cl.Keys("n1")
+	want := []string{DefaultKey, "a", "b"}
+	if len(keys) != len(want) {
+		t.Fatalf("keys = %q, want %q", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys = %q, want %q", keys, want)
+		}
 	}
 }

@@ -95,7 +95,9 @@ func runParent() {
 		log.Fatalf("linearizable read over TCP returned %q, want 12", got)
 	}
 	for i := range procs {
-		ask(i, "quit")
+		// quit has no reply: the replica just drains and exits.
+		fmt.Fprintln(stdins[i], "quit")
+		stdins[i].Flush()
 		_ = procs[i].Wait()
 	}
 	fmt.Println("ok: cross-process linearizable counter over real sockets")

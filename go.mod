@@ -1,0 +1,3 @@
+module crdtsmr
+
+go 1.24

@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"crdtsmr/internal/cluster"
+	"crdtsmr/internal/core"
+	"crdtsmr/internal/crdt"
+	"crdtsmr/internal/store"
+	"crdtsmr/internal/transport"
+)
+
+// --- sharded multi-object store under benchmark ---
+
+// MultiCRDTSystem runs the paper's protocol as a sharded store: nKeys
+// independent G-Counter objects over one replica group, every key its own
+// replication instance multiplexed on the nodes' event loops. Client i
+// works key i mod nKeys at replica (i / nKeys) mod replicas, so each key's
+// clients are spread across replicas.
+type MultiCRDTSystem struct {
+	name string
+	mesh *transport.Mesh
+	st   *store.Store
+	ids  []transport.NodeID
+	keys []string
+}
+
+// NewMultiCRDTSystem starts the sharded store over n replicas and nKeys
+// keys. batch enables per-key §3.6 batching.
+func NewMultiCRDTSystem(n, nKeys int, batch time.Duration, net NetProfile) (*MultiCRDTSystem, error) {
+	if nKeys <= 0 {
+		return nil, fmt.Errorf("bench: need at least one key, got %d", nKeys)
+	}
+	name := fmt.Sprintf("CRDT Paxos sharded(%d keys)", nKeys)
+	if batch > 0 {
+		name = fmt.Sprintf("CRDT Paxos sharded(%d keys) w/batching(%s)", nKeys, batch)
+	}
+	mesh := net.mesh()
+	ids := members(n)
+	st, err := store.New(mesh, cluster.Config{
+		Members:            ids,
+		Initial:            crdt.NewGCounter(),
+		Options:            core.DefaultOptions(),
+		BatchInterval:      batch,
+		RetransmitInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		mesh.Close()
+		return nil, err
+	}
+	keys := make([]string, nKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("obj/%04d", i)
+	}
+	return &MultiCRDTSystem{name: name, mesh: mesh, st: st, ids: ids, keys: keys}, nil
+}
+
+// Name implements System.
+func (s *MultiCRDTSystem) Name() string { return s.name }
+
+// Client implements System.
+func (s *MultiCRDTSystem) Client(i int) Client {
+	key := s.keys[i%len(s.keys)]
+	at := s.ids[(i/len(s.keys))%len(s.ids)]
+	return &multiClient{st: s.st, at: at, key: key, slot: string(at)}
+}
+
+// Crash implements System.
+func (s *MultiCRDTSystem) Crash(replica int) { s.st.Crash(s.ids[replica%len(s.ids)]) }
+
+// Recover implements System.
+func (s *MultiCRDTSystem) Recover(replica int) { s.st.Recover(s.ids[replica%len(s.ids)]) }
+
+// Close implements System.
+func (s *MultiCRDTSystem) Close() {
+	s.st.Close()
+	s.mesh.Close()
+}
+
+type multiClient struct {
+	st   *store.Store
+	at   transport.NodeID
+	key  string
+	slot string
+}
+
+func (c *multiClient) Inc(ctx context.Context) error {
+	_, err := c.st.Update(ctx, c.at, c.key, func(s crdt.State) (crdt.State, error) {
+		return s.(*crdt.GCounter).Inc(c.slot, 1), nil
+	})
+	return err
+}
+
+func (c *multiClient) Read(ctx context.Context) (int64, int, error) {
+	s, stats, err := c.st.Query(ctx, c.at, c.key)
+	if err != nil {
+		return 0, 0, err
+	}
+	return int64(s.(*crdt.GCounter).Value()), stats.RoundTrips, nil
+}
+
+// --- keys-vs-throughput sweep ---
+
+// KeySweepPoint is one measurement of the sweep: the sharded store under
+// clientsPerKey closed-loop clients per key, at a given key count.
+type KeySweepPoint struct {
+	Keys    int
+	Clients int
+	Result  Result
+
+	// UpdatesPerSec and ReadsPerSec split the aggregate rate by kind
+	// (completed operations over the measured window).
+	UpdatesPerSec float64
+	ReadsPerSec   float64
+}
+
+// RunKeysSweep measures aggregate throughput as the keyspace grows with a
+// fixed per-key load: for each key count k it runs k×clientsPerKey clients
+// against a fresh sharded store. Because keys are independent replication
+// groups with no shared ordering machinery, aggregate throughput grows
+// with the key count until the nodes' event loops saturate — the sharding
+// story Multi-Paxos and Raft cannot tell without per-key logs.
+func RunKeysSweep(s Scale, keyCounts []int, clientsPerKey int, readFraction float64, batch time.Duration) ([]KeySweepPoint, error) {
+	points := make([]KeySweepPoint, 0, len(keyCounts))
+	for _, k := range keyCounts {
+		sys, err := NewMultiCRDTSystem(s.Replicas, k, batch, s.Net)
+		if err != nil {
+			return nil, err
+		}
+		res := Run(sys, RunConfig{
+			Clients:      k * clientsPerKey,
+			ReadFraction: readFraction,
+			Duration:     s.Duration,
+			Warmup:       s.Warmup,
+			Seed:         s.Net.Seed,
+		})
+		sys.Close()
+		if res.Errors > 0 {
+			return nil, fmt.Errorf("bench: %d errors at %d keys", res.Errors, k)
+		}
+		secs := res.Elapsed.Seconds()
+		p := KeySweepPoint{Keys: k, Clients: k * clientsPerKey, Result: res}
+		if secs > 0 {
+			p.UpdatesPerSec = float64(res.UpdateLat.Count) / secs
+			p.ReadsPerSec = float64(res.ReadLat.Count) / secs
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// FigureKeys reports the keys-vs-throughput sweep (the repository's
+// scaling experiment beyond the paper's single-object evaluation):
+// aggregate and per-kind throughput of the sharded store as the key count
+// grows with clientsPerKey closed-loop clients per key, with and without
+// per-key batching.
+func FigureKeys(w io.Writer, s Scale, keyCounts []int, clientsPerKey int) error {
+	const readFraction = 0.5
+	fmt.Fprintf(w, "Figure K: sharded store throughput vs key count (%d replicas, %d clients/key, %.0f%% reads)\n",
+		s.Replicas, clientsPerKey, readFraction*100)
+	for _, batch := range []time.Duration{0, s.Batch} {
+		label := "without batching"
+		if batch > 0 {
+			label = fmt.Sprintf("with per-key %s batching", batch)
+		}
+		fmt.Fprintf(w, "\n  %s\n", label)
+		fmt.Fprintf(w, "  %6s %9s %12s %12s %12s %12s\n",
+			"keys", "clients", "ops/s", "updates/s", "reads/s", "read p95")
+		points, err := RunKeysSweep(s, keyCounts, clientsPerKey, readFraction, batch)
+		if err != nil {
+			return err
+		}
+		for _, p := range points {
+			fmt.Fprintf(w, "  %6d %9d %12.0f %12.0f %12.0f %12s\n",
+				p.Keys, p.Clients, p.Result.Throughput, p.UpdatesPerSec, p.ReadsPerSec,
+				p.Result.ReadLat.P95.Round(time.Microsecond))
+		}
+	}
+	return nil
+}

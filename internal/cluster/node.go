@@ -4,12 +4,22 @@
 // (the paper's serial-process assumption, §3.2), a retransmission timer per
 // in-flight request covers message loss, and an optional per-proposer batch
 // (§3.6) amortizes protocol runs across commands.
+//
+// A node is not limited to one replicated object: because the protocol
+// keeps no cross-command log, replication instances compose per key. Each
+// object key owns an independent core.Replica (payload + round counter,
+// nothing more), all keys share the node's event loop and transport
+// connection, and protocol messages carry an object-ID envelope
+// (internal/wire) that routes them to the right instance. Replicas are
+// instantiated lazily on first touch — locally by a command, remotely by
+// the first inbound message for the key.
 package cluster
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -17,6 +27,7 @@ import (
 	"crdtsmr/internal/core"
 	"crdtsmr/internal/crdt"
 	"crdtsmr/internal/transport"
+	"crdtsmr/internal/wire"
 )
 
 // ErrUnavailable is returned for commands submitted to a crashed node.
@@ -25,12 +36,23 @@ var ErrUnavailable = errors.New("cluster: node unavailable")
 // ErrStopped is returned for commands submitted to a closed node.
 var ErrStopped = errors.New("cluster: node stopped")
 
+// DefaultKey is the object key of the single-object API: Update and Query
+// operate on the object stored under this key.
+const DefaultKey = ""
+
 // Config configures every node of a cluster.
 type Config struct {
 	// Members lists the full replica group.
 	Members []transport.NodeID
-	// Initial is the initial CRDT payload s0, identical on all replicas.
+	// Initial is the initial CRDT payload s0 of the default object,
+	// identical on all replicas.
 	Initial crdt.State
+	// InitialForKey, when set, supplies the initial payload s0 for keys
+	// other than DefaultKey. It must be deterministic and identical across
+	// replicas (it runs independently on every node when the key is first
+	// touched). When nil, every key starts from a fresh zero value of
+	// Initial's payload type.
+	InitialForKey func(key string) crdt.State
 	// Options are the protocol options (see core.Options).
 	Options core.Options
 	// Clock supplies timers; defaults to the wall clock.
@@ -39,8 +61,8 @@ type Config struct {
 	// re-driving its messages. Default 100 ms.
 	RetransmitInterval time.Duration
 	// BatchInterval, when positive, enables §3.6 per-proposer batching:
-	// commands buffer locally and flush every interval, one protocol run
-	// per batch. The paper's evaluation uses 5 ms.
+	// commands buffer locally per key and flush every interval, one
+	// protocol run per key per batch. The paper's evaluation uses 5 ms.
 	BatchInterval time.Duration
 }
 
@@ -54,35 +76,56 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Node is one running replica: a core.Replica driven by an event loop.
-type Node struct {
-	id      transport.NodeID
-	cfg     Config
-	replica *core.Replica
-	conn    transport.Conn
+// initialFor resolves the initial payload for an object key.
+func (c Config) initialFor(key string) (crdt.State, error) {
+	if key == DefaultKey {
+		return c.Initial, nil
+	}
+	if c.InitialForKey != nil {
+		if s := c.InitialForKey(key); s != nil {
+			return s, nil
+		}
+		return nil, fmt.Errorf("cluster: no initial state for key %q", key)
+	}
+	// States are immutable, but Initial may already hold data; fresh keys
+	// must start from the type's bottom element so every replica agrees.
+	return crdt.New(c.Initial.TypeName())
+}
 
-	events   chan nodeEvent
-	counters chan chan core.Counters
-	quit     chan struct{}
-	wg       sync.WaitGroup
+// Node is one running replica of the whole keyspace: a set of per-key
+// core.Replica instances driven by a single event loop over a single
+// transport connection.
+type Node struct {
+	id   transport.NodeID
+	cfg  Config
+	conn transport.Conn
+
+	events chan nodeEvent
+	calls  chan func()
+	quit   chan struct{}
+	wg     sync.WaitGroup
 
 	// Loop-owned state (accessed only from the event loop).
-	timers       map[uint64]clock.Timer
-	crashed      bool
-	batchUpdates []*updateOp
-	batchQueries []*queryOp
-	flushTimer   clock.Timer
+	replicas      map[string]*core.Replica
+	timers        map[string]map[uint64]clock.Timer
+	dirty         []string // keys whose replica may hold outbox envelopes
+	droppedFrames uint64   // inbound frames dropped before reaching a replica
+	crashed       bool
+	batchUpdates  map[string][]*updateOp
+	batchQueries  map[string][]*queryOp
+	flushTimer    clock.Timer
 }
 
 type nodeEvent struct {
 	kind    eventKind
 	from    transport.NodeID
 	payload []byte
+	key     string
 	update  *updateOp
 	query   *queryOp
 	reqID   uint64
 	crash   bool
-	queries bool // evFlush: flush the query batch (else the update batch)
+	queries bool // evFlush: flush the query batches (else the update batches)
 }
 
 type eventKind uint8
@@ -120,19 +163,24 @@ type queryResult struct {
 // handler to a transport (e.g. a wrapper around Mesh.Join or NewTCP).
 func NewNode(id transport.NodeID, cfg Config, join func(transport.NodeID, transport.Handler) transport.Conn) (*Node, error) {
 	cfg = cfg.withDefaults()
+	n := &Node{
+		id:           id,
+		cfg:          cfg,
+		events:       make(chan nodeEvent, 8192),
+		calls:        make(chan func()),
+		quit:         make(chan struct{}),
+		replicas:     make(map[string]*core.Replica),
+		timers:       make(map[string]map[uint64]clock.Timer),
+		batchUpdates: make(map[string][]*updateOp),
+		batchQueries: make(map[string][]*queryOp),
+	}
+	// Instantiate the default object eagerly: it validates the member list
+	// and initial state once, at startup, rather than on the first command.
 	rep, err := core.NewReplica(id, cfg.Members, cfg.Initial, cfg.Options)
 	if err != nil {
 		return nil, err
 	}
-	n := &Node{
-		id:       id,
-		cfg:      cfg,
-		replica:  rep,
-		events:   make(chan nodeEvent, 8192),
-		counters: make(chan chan core.Counters),
-		quit:     make(chan struct{}),
-		timers:   make(map[uint64]clock.Timer),
-	}
+	n.replicas[DefaultKey] = rep
 	n.conn = join(id, n.handleInbound)
 	n.wg.Add(1)
 	go n.loop()
@@ -141,8 +189,10 @@ func NewNode(id transport.NodeID, cfg Config, join func(transport.NodeID, transp
 		// flush in lockstep run their query protocols concurrently and
 		// deny each other's votes every window. Spreading the phases
 		// across the window keeps the per-window protocol runs of
-		// different proposers disjoint in time.
-		offset := cfg.BatchInterval * time.Duration(memberIndex(cfg.Members, id)) / time.Duration(len(cfg.Members))
+		// different proposers disjoint in time. The first slot starts one
+		// window in, not at zero — a flush racing node startup could ship
+		// a batch the instant a client enqueues it.
+		offset := cfg.BatchInterval * time.Duration(memberIndex(cfg.Members, id)+1) / time.Duration(len(cfg.Members))
 		n.cfg.Clock.AfterFunc(offset, func() {
 			n.post(nodeEvent{kind: evFlush})
 		})
@@ -162,26 +212,71 @@ func memberIndex(members []transport.NodeID, id transport.NodeID) int {
 // ID returns the node's ID.
 func (n *Node) ID() transport.NodeID { return n.id }
 
-// Counters returns a loop-synchronized snapshot of the protocol counters.
-func (n *Node) Counters() core.Counters {
-	res := make(chan core.Counters, 1)
+// call runs fn on the event loop and waits for it, for loop-synchronized
+// inspection. Returns false if the node is stopped.
+func (n *Node) call(fn func()) bool {
+	done := make(chan struct{})
 	select {
-	case n.counters <- res:
+	case n.calls <- func() { fn(); close(done) }:
 		select {
-		case c := <-res:
-			return c
+		case <-done:
+			return true
 		case <-n.quit:
+			return false
 		}
 	case <-n.quit:
+		return false
 	}
-	return core.Counters{}
 }
 
-// Update submits an update command and blocks until it completes or ctx is
-// done.
+// Counters returns a loop-synchronized snapshot of the protocol counters,
+// summed across every object instantiated on this node. Frames dropped
+// before reaching a replica — undecodable object envelope, or a key the
+// local configuration rejects — count toward MalformedMsgs.
+func (n *Node) Counters() core.Counters {
+	var sum core.Counters
+	n.call(func() {
+		for _, rep := range n.replicas {
+			sum.Add(rep.Counters())
+		}
+		sum.MalformedMsgs += n.droppedFrames
+	})
+	return sum
+}
+
+// Keys returns the object keys instantiated on this node so far, sorted.
+// A key appears once this node has served a command for it or received a
+// protocol message about it.
+func (n *Node) Keys() []string {
+	var keys []string
+	n.call(func() {
+		keys = make([]string, 0, len(n.replicas))
+		for k := range n.replicas {
+			keys = append(keys, k)
+		}
+	})
+	sort.Strings(keys)
+	return keys
+}
+
+// Objects returns the number of object replicas instantiated on this node.
+func (n *Node) Objects() int {
+	count := 0
+	n.call(func() { count = len(n.replicas) })
+	return count
+}
+
+// Update submits an update command against the default object and blocks
+// until it completes or ctx is done.
 func (n *Node) Update(ctx context.Context, fu crdt.Update) (core.UpdateStats, error) {
+	return n.UpdateKey(ctx, DefaultKey, fu)
+}
+
+// UpdateKey submits an update command against the object stored under key
+// and blocks until it is durable on a quorum or ctx is done.
+func (n *Node) UpdateKey(ctx context.Context, key string, fu crdt.Update) (core.UpdateStats, error) {
 	op := &updateOp{fu: fu, done: make(chan updateResult, 1)}
-	if err := n.submit(ctx, nodeEvent{kind: evUpdate, update: op}); err != nil {
+	if err := n.submit(ctx, nodeEvent{kind: evUpdate, key: key, update: op}); err != nil {
 		return core.UpdateStats{}, err
 	}
 	select {
@@ -194,11 +289,18 @@ func (n *Node) Update(ctx context.Context, fu crdt.Update) (core.UpdateStats, er
 	}
 }
 
-// Query submits a query command and blocks until a state is learned or ctx
-// is done. The returned state must be treated as immutable.
+// Query submits a query command against the default object and blocks until
+// a state is learned or ctx is done.
 func (n *Node) Query(ctx context.Context) (crdt.State, core.QueryStats, error) {
+	return n.QueryKey(ctx, DefaultKey)
+}
+
+// QueryKey submits a query command against the object stored under key and
+// blocks until a linearizable state is learned or ctx is done. The returned
+// state must be treated as immutable.
+func (n *Node) QueryKey(ctx context.Context, key string) (crdt.State, core.QueryStats, error) {
 	op := &queryOp{done: make(chan queryResult, 1)}
-	if err := n.submit(ctx, nodeEvent{kind: evQuery, query: op}); err != nil {
+	if err := n.submit(ctx, nodeEvent{kind: evQuery, key: key, query: op}); err != nil {
 		return nil, core.QueryStats{}, err
 	}
 	select {
@@ -266,11 +368,31 @@ func (n *Node) loop() {
 			return
 		case ev := <-n.events:
 			n.handle(ev)
-		case res := <-n.counters:
-			res <- n.replica.Counters()
+		case fn := <-n.calls:
+			fn()
 		}
 		n.flushOutbox()
 	}
+}
+
+// replicaFor returns the replica owning key, instantiating it on first
+// touch. The key is marked dirty so its outbox is drained after the event.
+func (n *Node) replicaFor(key string) (*core.Replica, error) {
+	if rep, ok := n.replicas[key]; ok {
+		n.dirty = append(n.dirty, key)
+		return rep, nil
+	}
+	s0, err := n.cfg.initialFor(key)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := core.NewReplica(n.id, n.cfg.Members, s0, n.cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+	n.replicas[key] = rep
+	n.dirty = append(n.dirty, key)
+	return rep, nil
 }
 
 func (n *Node) handle(ev nodeEvent) {
@@ -279,38 +401,57 @@ func (n *Node) handle(ev nodeEvent) {
 		if n.crashed {
 			return
 		}
-		n.replica.Deliver(ev.from, ev.payload)
+		key, inner, err := wire.UnpackEnvelope(ev.payload)
+		if err != nil {
+			// Malformed frame: drop, per the unreliable-network model, but
+			// keep it visible in Counters — a peer speaking a different
+			// wire format would otherwise be undiagnosable.
+			n.droppedFrames++
+			return
+		}
+		rep, err := n.replicaFor(key)
+		if err != nil {
+			// No agreed initial state for this key: drop, counted — a peer
+			// whose configuration accepts the key would otherwise hang
+			// against this node with no diagnostic trace here.
+			n.droppedFrames++
+			return
+		}
+		rep.Deliver(ev.from, inner)
 	case evUpdate:
 		if n.crashed {
 			ev.update.done <- updateResult{err: ErrUnavailable}
 			return
 		}
 		if n.cfg.BatchInterval > 0 {
-			n.batchUpdates = append(n.batchUpdates, ev.update)
+			n.batchUpdates[ev.key] = append(n.batchUpdates[ev.key], ev.update)
 			return
 		}
-		n.startUpdate([]*updateOp{ev.update})
+		n.startUpdate(ev.key, []*updateOp{ev.update})
 	case evQuery:
 		if n.crashed {
 			ev.query.done <- queryResult{err: ErrUnavailable}
 			return
 		}
 		if n.cfg.BatchInterval > 0 {
-			n.batchQueries = append(n.batchQueries, ev.query)
+			n.batchQueries[ev.key] = append(n.batchQueries[ev.key], ev.query)
 			return
 		}
-		n.startQuery([]*queryOp{ev.query})
+		n.startQuery(ev.key, []*queryOp{ev.query})
 	case evTimeout:
 		if n.crashed {
 			return
 		}
-		if _, live := n.timers[ev.reqID]; live {
-			n.replica.Retransmit(ev.reqID)
-			n.armTimer(ev.reqID)
+		if _, live := n.timers[ev.key][ev.reqID]; live {
+			if rep, ok := n.replicas[ev.key]; ok {
+				n.dirty = append(n.dirty, ev.key)
+				rep.Retransmit(ev.reqID)
+				n.armTimer(ev.key, ev.reqID)
+			}
 		}
 	case evFlush:
 		if !n.crashed {
-			n.flushBatch(ev.queries)
+			n.flushBatches(ev.queries)
 		}
 		// The update and query batches alternate, each flushing every
 		// BatchInterval but offset by half a window. Flushing them at the
@@ -331,7 +472,14 @@ func (n *Node) handle(ev nodeEvent) {
 	}
 }
 
-func (n *Node) startUpdate(ops []*updateOp) {
+func (n *Node) startUpdate(key string, ops []*updateOp) {
+	rep, err := n.replicaFor(key)
+	if err != nil {
+		for _, op := range ops {
+			op.done <- updateResult{err: err}
+		}
+		return
+	}
 	combined := func(s crdt.State) (crdt.State, error) {
 		var err error
 		for _, op := range ops {
@@ -342,7 +490,7 @@ func (n *Node) startUpdate(ops []*updateOp) {
 		}
 		return s, nil
 	}
-	reqID, err := n.replica.SubmitUpdate(combined, func(stats core.UpdateStats, err error) {
+	reqID, err := rep.SubmitUpdate(combined, func(stats core.UpdateStats, err error) {
 		for _, op := range ops {
 			op.done <- updateResult{stats: stats, err: err}
 		}
@@ -353,90 +501,131 @@ func (n *Node) startUpdate(ops []*updateOp) {
 		}
 		return
 	}
-	if n.replica.Pending(reqID) {
-		n.armTimer(reqID)
+	if rep.Pending(reqID) {
+		n.armTimer(key, reqID)
 	}
 }
 
-func (n *Node) startQuery(ops []*queryOp) {
-	reqID := n.replica.SubmitQuery(func(s crdt.State, stats core.QueryStats, err error) {
+func (n *Node) startQuery(key string, ops []*queryOp) {
+	rep, err := n.replicaFor(key)
+	if err != nil {
+		for _, op := range ops {
+			op.done <- queryResult{err: err}
+		}
+		return
+	}
+	reqID := rep.SubmitQuery(func(s crdt.State, stats core.QueryStats, err error) {
 		for _, op := range ops {
 			op.done <- queryResult{state: s, stats: stats, err: err}
 		}
 	})
-	if n.replica.Pending(reqID) {
-		n.armTimer(reqID)
+	if rep.Pending(reqID) {
+		n.armTimer(key, reqID)
 	}
 }
 
-func (n *Node) flushBatch(queries bool) {
+// flushBatches starts one protocol run per key holding buffered commands of
+// the given kind — keys batch independently, so a hot key's protocol run
+// does not serialize behind a cold key's.
+func (n *Node) flushBatches(queries bool) {
 	if queries {
-		if len(n.batchQueries) > 0 {
-			ops := n.batchQueries
-			n.batchQueries = nil
-			n.startQuery(ops)
+		for key, ops := range n.batchQueries {
+			delete(n.batchQueries, key)
+			n.startQuery(key, ops)
 		}
 		return
 	}
-	if len(n.batchUpdates) > 0 {
-		ops := n.batchUpdates
-		n.batchUpdates = nil
-		n.startUpdate(ops)
+	for key, ops := range n.batchUpdates {
+		delete(n.batchUpdates, key)
+		n.startUpdate(key, ops)
 	}
 }
 
-func (n *Node) armTimer(reqID uint64) {
-	n.disarmTimer(reqID)
-	n.timers[reqID] = n.cfg.Clock.AfterFunc(n.cfg.RetransmitInterval, func() {
-		n.post(nodeEvent{kind: evTimeout, reqID: reqID})
+func (n *Node) armTimer(key string, reqID uint64) {
+	n.disarmTimer(key, reqID)
+	byReq, ok := n.timers[key]
+	if !ok {
+		byReq = make(map[uint64]clock.Timer)
+		n.timers[key] = byReq
+	}
+	byReq[reqID] = n.cfg.Clock.AfterFunc(n.cfg.RetransmitInterval, func() {
+		n.post(nodeEvent{kind: evTimeout, key: key, reqID: reqID})
 	})
 }
 
-func (n *Node) disarmTimer(reqID uint64) {
-	if t, ok := n.timers[reqID]; ok {
+func (n *Node) disarmTimer(key string, reqID uint64) {
+	if t, ok := n.timers[key][reqID]; ok {
 		t.Stop()
-		delete(n.timers, reqID)
+		delete(n.timers[key], reqID)
+		if len(n.timers[key]) == 0 {
+			delete(n.timers, key)
+		}
 	}
 }
 
-// flushOutbox transmits pending envelopes and disarms timers of requests
-// that completed during the last event.
+// flushOutbox transmits pending envelopes of every replica touched by the
+// last event — wrapped in the key's object-ID envelope — and disarms timers
+// of requests that completed. Only dirty keys are visited, so per-event
+// cost is independent of the size of the keyspace.
 func (n *Node) flushOutbox() {
-	for _, e := range n.replica.TakeOutbox() {
-		if !n.crashed {
-			n.conn.Send(e.To, e.Payload)
+	if len(n.dirty) == 0 {
+		return
+	}
+	for _, key := range n.dirty {
+		rep, ok := n.replicas[key]
+		if !ok {
+			continue
+		}
+		for _, e := range rep.TakeOutbox() {
+			if !n.crashed {
+				n.conn.Send(e.To, wire.PackEnvelope(key, e.Payload))
+			}
+		}
+		for reqID := range n.timers[key] {
+			if !rep.Pending(reqID) {
+				n.disarmTimer(key, reqID)
+			}
 		}
 	}
-	for reqID := range n.timers {
-		if !n.replica.Pending(reqID) {
-			n.disarmTimer(reqID)
-		}
-	}
+	n.dirty = n.dirty[:0]
 }
 
 // failEverything aborts in-flight and batched requests upon crash; their
 // callers receive ErrAborted / ErrUnavailable.
 func (n *Node) failEverything() {
-	for reqID := range n.timers {
-		n.disarmTimer(reqID)
-		n.replica.Abort(reqID)
+	for key, byReq := range n.timers {
+		rep := n.replicas[key]
+		for reqID := range byReq {
+			n.disarmTimer(key, reqID)
+			if rep != nil {
+				rep.Abort(reqID)
+			}
+		}
 	}
-	for _, op := range n.batchUpdates {
-		op.done <- updateResult{err: ErrUnavailable}
+	for key, ops := range n.batchUpdates {
+		delete(n.batchUpdates, key)
+		for _, op := range ops {
+			op.done <- updateResult{err: ErrUnavailable}
+		}
 	}
-	for _, op := range n.batchQueries {
-		op.done <- queryResult{err: ErrUnavailable}
+	for key, ops := range n.batchQueries {
+		delete(n.batchQueries, key)
+		for _, op := range ops {
+			op.done <- queryResult{err: ErrUnavailable}
+		}
 	}
-	n.batchUpdates, n.batchQueries = nil, nil
 }
 
 func (n *Node) shutdown() {
 	if n.flushTimer != nil {
 		n.flushTimer.Stop()
 	}
-	for reqID, t := range n.timers {
-		t.Stop()
-		delete(n.timers, reqID)
+	for key, byReq := range n.timers {
+		for reqID, t := range byReq {
+			t.Stop()
+			delete(byReq, reqID)
+		}
+		delete(n.timers, key)
 	}
 }
 

@@ -131,6 +131,25 @@ type Counters struct {
 	FixedPrepare       uint64 // prepares issued with a concrete number
 }
 
+// Add accumulates o into c, field by field. Runtimes aggregating many
+// replicas (e.g. a multi-object node) use it so the aggregation stays next
+// to the struct definition and cannot miss newly added fields.
+func (c *Counters) Add(o Counters) {
+	c.Updates += o.Updates
+	c.Queries += o.Queries
+	c.ConsistentQuorum += o.ConsistentQuorum
+	c.ByVote += o.ByVote
+	c.Retries += o.Retries
+	c.StaleMsgs += o.StaleMsgs
+	c.MalformedMsgs += o.MalformedMsgs
+	c.PreparesAccepted += o.PreparesAccepted
+	c.PreparesRejected += o.PreparesRejected
+	c.VotesAccepted += o.VotesAccepted
+	c.VotesRejected += o.VotesRejected
+	c.IncrementalPrepare += o.IncrementalPrepare
+	c.FixedPrepare += o.FixedPrepare
+}
+
 type updateReq struct {
 	id      uint64
 	state   crdt.State // the merged payload broadcast in MERGE

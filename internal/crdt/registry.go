@@ -2,6 +2,7 @@ package crdt
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -54,6 +55,20 @@ func New(name string) (State, error) {
 		return nil, fmt.Errorf("crdt: unregistered payload type %q", name)
 	}
 	return factory(), nil
+}
+
+// Names returns the names of every registered payload type, sorted. It is
+// used by the property and fuzz tests to sweep the full registry and by
+// tooling that enumerates available payload types.
+func Names() []string {
+	defaultRegistry.mu.RLock()
+	defer defaultRegistry.mu.RUnlock()
+	names := make([]string, 0, len(defaultRegistry.factories))
+	for name := range defaultRegistry.factories {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Marshal encodes a state in the self-describing wire format

@@ -1,0 +1,131 @@
+// Package store implements a sharded multi-object CRDT store: a keyspace
+// in which every key is replicated by its own independent, lightweight SMR
+// instance of the paper's protocol.
+//
+// Skrzypczak, Schintke & Schütt (PODC 2019) replicate a single CRDT
+// payload. Because the protocol keeps no cross-command log — per-replica
+// protocol state is the payload plus one round counter — replication
+// instances compose per key with no shared ordering machinery: unlike
+// Multi-Paxos or Raft, nothing about key A's commands constrains key B's.
+// The store exploits that: each key is its own replica group state
+// (core.Replica), all keys on a node share one event loop and one
+// transport connection (cluster.Node routes messages by the object-ID
+// envelope), and per-key instances are instantiated lazily on first touch.
+// Linearizability holds per key, which is exactly the guarantee a sharded
+// keyspace offers.
+package store
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"crdtsmr/internal/cluster"
+	"crdtsmr/internal/core"
+	"crdtsmr/internal/crdt"
+	"crdtsmr/internal/transport"
+)
+
+// Store is a keyed object store replicated over a group of nodes. Every
+// key is linearizable independently; operations name the replica (at) they
+// are submitted to, like the single-object API.
+type Store struct {
+	inner *cluster.Cluster
+	ids   []transport.NodeID
+}
+
+// New starts one store node per member over the given in-process mesh.
+// cfg.Initial is the payload every key starts from (a fresh zero value of
+// its type per key; itself for the default key), and cfg.InitialForKey may
+// override it per key to mix CRDT types in one keyspace. For multi-process
+// deployments, run cluster.NewNode with a TCP transport on every host
+// instead — the keyed API (UpdateKey/QueryKey) lives on the node, so the
+// store composes with any transport.
+func New(mesh *transport.Mesh, cfg cluster.Config) (*Store, error) {
+	if cfg.Initial == nil {
+		return nil, fmt.Errorf("store: nil initial payload")
+	}
+	inner, err := cluster.New(mesh, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{
+		inner: inner,
+		ids:   append([]transport.NodeID(nil), cfg.Members...),
+	}, nil
+}
+
+// NodeIDs returns the replica IDs in member order.
+func (s *Store) NodeIDs() []transport.NodeID {
+	return append([]transport.NodeID(nil), s.ids...)
+}
+
+// Node returns the store node with the given ID, or nil.
+func (s *Store) Node(id transport.NodeID) *cluster.Node { return s.inner.Node(id) }
+
+// Update applies a monotone update function to the object stored under key
+// at the named replica and waits for it to be durable on a quorum.
+func (s *Store) Update(ctx context.Context, at transport.NodeID, key string, fu crdt.Update) (core.UpdateStats, error) {
+	n := s.inner.Node(at)
+	if n == nil {
+		return core.UpdateStats{}, fmt.Errorf("store: unknown replica %s", at)
+	}
+	return n.UpdateKey(ctx, key, fu)
+}
+
+// Query learns a linearizable state of the object stored under key at the
+// named replica.
+func (s *Store) Query(ctx context.Context, at transport.NodeID, key string) (crdt.State, core.QueryStats, error) {
+	n := s.inner.Node(at)
+	if n == nil {
+		return nil, core.QueryStats{}, fmt.Errorf("store: unknown replica %s", at)
+	}
+	return n.QueryKey(ctx, key)
+}
+
+// Keys returns the keys instantiated at the named replica, sorted. A key
+// is instantiated once the replica served a command for it or received a
+// protocol message about it, so replicas may disagree transiently.
+func (s *Store) Keys(at transport.NodeID) []string {
+	n := s.inner.Node(at)
+	if n == nil {
+		return nil
+	}
+	return n.Keys()
+}
+
+// AllKeys returns the union of every replica's instantiated keys, sorted.
+func (s *Store) AllKeys() []string {
+	seen := make(map[string]bool)
+	for _, id := range s.ids {
+		for _, k := range s.Keys(id) {
+			seen[k] = true
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Objects returns the number of object replicas instantiated at the named
+// replica.
+func (s *Store) Objects(at transport.NodeID) int {
+	n := s.inner.Node(at)
+	if n == nil {
+		return 0
+	}
+	return n.Objects()
+}
+
+// Crash simulates a crash of the named replica; its state is retained
+// (crash-recovery model).
+func (s *Store) Crash(id transport.NodeID) { s.inner.Crash(id) }
+
+// Recover brings a crashed replica back.
+func (s *Store) Recover(id transport.NodeID) { s.inner.Recover(id) }
+
+// Close stops every node. The mesh is owned by the caller.
+func (s *Store) Close() { s.inner.Close() }

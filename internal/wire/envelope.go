@@ -1,0 +1,32 @@
+package wire
+
+// The object envelope multiplexes many independent replication instances
+// over one transport connection: every protocol message is prefixed with
+// the ID of the object (the store key) it belongs to, so a node can route
+// inbound messages to the right per-key replica. The inner payload stays
+// opaque to the envelope — the same framing serves every protocol in the
+// repository.
+//
+// Layout: [objectID str][payload...] — the payload is the unprefixed tail
+// of the frame, so unpacking returns a subslice of the input with no copy.
+// Both Mesh and TCP allocate a fresh frame per delivery, so borrowing the
+// tail is safe; callers treating payloads as immutable (as all decoders in
+// this repository do) see no aliasing.
+
+// PackEnvelope prefixes a protocol message with its object ID.
+func PackEnvelope(objectID string, payload []byte) []byte {
+	w := NewWriter(len(objectID) + len(payload) + 4)
+	w.Str(objectID)
+	return append(w.Bytes(), payload...)
+}
+
+// UnpackEnvelope splits a frame produced by PackEnvelope into the object ID
+// and the inner protocol message. The payload aliases frame's tail.
+func UnpackEnvelope(frame []byte) (objectID string, payload []byte, err error) {
+	r := NewReader(frame)
+	objectID = r.Str()
+	if err := r.Err(); err != nil {
+		return "", nil, err
+	}
+	return objectID, r.Rest(), nil
+}

@@ -1,0 +1,67 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	cases := []struct {
+		id      string
+		payload []byte
+	}{
+		{"", nil},
+		{"", []byte{1, 2, 3}},
+		{"user/42", []byte("payload")},
+		{"k", bytes.Repeat([]byte{0xab}, 1<<16)},
+		{"unicode/ключ/鍵", []byte{0}},
+	}
+	for _, c := range cases {
+		frame := PackEnvelope(c.id, c.payload)
+		id, payload, err := UnpackEnvelope(frame)
+		if err != nil {
+			t.Fatalf("unpack(%q): %v", c.id, err)
+		}
+		if id != c.id {
+			t.Fatalf("object ID %q, want %q", id, c.id)
+		}
+		if !bytes.Equal(payload, c.payload) {
+			t.Fatalf("payload mismatch for %q: %d bytes, want %d", c.id, len(payload), len(c.payload))
+		}
+	}
+}
+
+func TestEnvelopeRejectsMalformed(t *testing.T) {
+	cases := [][]byte{
+		{},        // missing object ID
+		{0xff},    // truncated ID length varint
+		{3, 'a'},  // ID shorter than its length
+		{9, 1, 2}, // ID length beyond the frame
+	}
+	for i, frame := range cases {
+		if _, _, err := UnpackEnvelope(frame); err == nil {
+			t.Fatalf("case %d: malformed frame accepted", i)
+		}
+	}
+}
+
+func TestEnvelopePayloadAliasesTail(t *testing.T) {
+	frame := PackEnvelope("k", []byte{1, 2, 3})
+	_, payload, err := UnpackEnvelope(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The payload is the frame's tail, not a copy — the hot receive path
+	// must not re-copy every protocol message.
+	if &payload[0] != &frame[len(frame)-len(payload)] {
+		t.Fatal("payload does not alias the frame tail")
+	}
+}
+
+func TestEnvelopeDistinctKeysDistinctFrames(t *testing.T) {
+	a := PackEnvelope("a", []byte("x"))
+	b := PackEnvelope("b", []byte("x"))
+	if bytes.Equal(a, b) {
+		t.Fatal("different object IDs encoded identically")
+	}
+}

@@ -147,6 +147,18 @@ func (r *Reader) Str() string {
 	return s
 }
 
+// Rest consumes and returns the unread remainder of the input. The slice
+// aliases the reader's underlying buffer; it is used for trailing payload
+// fields that need no length prefix.
+func (r *Reader) Rest() []byte {
+	if r.err != nil {
+		return nil
+	}
+	p := r.b
+	r.b = nil
+	return p
+}
+
 // Raw reads a length-prefixed byte slice. The returned slice is a copy.
 func (r *Reader) Raw() []byte {
 	n := r.Uvarint()
