@@ -2,8 +2,11 @@
 // the Go reimplementation: throughput sweeps (Figure 1), tail latency
 // (Figure 2), read round-trip distributions (Figure 3), and the
 // node-failure timeline (Figure 4). Beyond the paper, -figure keys runs
-// the sharded-store scaling sweep: aggregate throughput vs key count with
-// a fixed per-key client load.
+// the sharded-store scaling sweep (aggregate throughput vs key count with
+// a fixed per-key client load) and -figure clients runs the served-store
+// sweep: closed-loop clients driving the store through the real TCP
+// client/server stack (internal/client, internal/server) with the replica
+// mesh emulated, one throughput grid of clients × keyspace size.
 //
 // The default scale finishes in minutes; raise -duration and -clients to
 // approach the paper's 10-minute, 4096-client runs.
@@ -14,6 +17,7 @@
 //	bench -figure 1 -duration 10s -clients 1,8,64,512,4096
 //	bench -figure 3 -batch 5ms
 //	bench -figure keys -keys 1,4,16,64,256 -per-key 2
+//	bench -figure clients -keys 1,4,16 -clients 8,64,256
 package main
 
 import (
@@ -36,7 +40,7 @@ func main() {
 
 func run() error {
 	var (
-		figure   = flag.String("figure", "all", "figure to regenerate: 1, 2, 3, 4, or all")
+		figure   = flag.String("figure", "all", "figure to regenerate: 1, 2, 3, 4, keys, clients, or all")
 		duration = flag.Duration("duration", 2*time.Second, "measurement duration per data point (paper: 10m)")
 		warmup   = flag.Duration("warmup", 300*time.Millisecond, "warm-up excluded from statistics")
 		clients  = flag.String("clients", "1,8,64,256", "comma-separated client sweep (paper: 1..4096)")
@@ -81,13 +85,15 @@ func run() error {
 			return bench.Figure4(out, scale, 64)
 		case "keys":
 			return bench.FigureKeys(out, scale, keySweep, *perKey)
+		case "clients":
+			return bench.FigureClients(out, scale, keySweep, sweep)
 		default:
 			return fmt.Errorf("unknown figure %q", fig)
 		}
 	}
 
 	if *figure == "all" {
-		for _, fig := range []string{"1", "2", "3", "4", "keys"} {
+		for _, fig := range []string{"1", "2", "3", "4", "keys", "clients"} {
 			if err := runOne(fig); err != nil {
 				return err
 			}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"fmt"
+	"go/format"
+	"strings"
+)
+
+// checkGoBlocks extracts ```go fenced blocks and verifies each one is
+// parseable Go at gofmt's formatting. Blocks may be full files (starting
+// with a package clause) or statement fragments, which are formatted as
+// the body of a function; either way the block text must already be in
+// gofmt form (tabs for indentation), so README examples never drift from
+// the style of the code they illustrate.
+func checkGoBlocks(doc, text string) []error {
+	var errs []error
+	lines := strings.Split(text, "\n")
+	for i := 0; i < len(lines); i++ {
+		if strings.TrimRight(lines[i], " ") != "```go" {
+			continue
+		}
+		start := i + 1
+		end := start
+		for end < len(lines) && strings.TrimRight(lines[end], " ") != "```" {
+			end++
+		}
+		if end == len(lines) {
+			errs = append(errs, fmt.Errorf("%s:%d: unterminated ```go block", doc, start))
+			break
+		}
+		block := strings.Join(lines[start:end], "\n") + "\n"
+		if err := checkGoBlock(block); err != nil {
+			errs = append(errs, fmt.Errorf("%s:%d: %w", doc, start, err))
+		}
+		i = end
+	}
+	return errs
+}
+
+func checkGoBlock(block string) error {
+	if strings.HasPrefix(block, "package ") || strings.HasPrefix(block, "// ") && strings.Contains(block, "\npackage ") {
+		formatted, err := format.Source([]byte(block))
+		if err != nil {
+			return fmt.Errorf("code block does not parse: %v", err)
+		}
+		if string(formatted) != block {
+			return fmt.Errorf("code block is not gofmt-formatted")
+		}
+		return nil
+	}
+	// Statement fragment: format it as a function body. If the fragment
+	// is gofmt-clean, formatting the wrapper reproduces it exactly with
+	// one leading tab per non-empty line.
+	var b strings.Builder
+	b.WriteString("package p\n\nfunc _() {\n")
+	for _, line := range strings.Split(strings.TrimRight(block, "\n"), "\n") {
+		if line != "" {
+			b.WriteString("\t")
+		}
+		b.WriteString(line)
+		b.WriteString("\n")
+	}
+	b.WriteString("}\n")
+	wrapped := b.String()
+	formatted, err := format.Source([]byte(wrapped))
+	if err != nil {
+		return fmt.Errorf("code block does not parse as statements: %v", err)
+	}
+	if string(formatted) != wrapped {
+		return fmt.Errorf("code block is not gofmt-formatted (tabs, gofmt spacing)")
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoDocs runs the real checks against the repository, so `go test`
+// fails the moment a maintained doc link breaks or a README example
+// drifts from gofmt.
+func TestRepoDocs(t *testing.T) {
+	root := filepath.Join("..", "..")
+	if _, err := os.Stat(filepath.Join(root, "README.md")); err != nil {
+		t.Skipf("repo root not found: %v", err)
+	}
+	for _, err := range Check(root) {
+		t.Error(err)
+	}
+}
+
+func TestCheckLinks(t *testing.T) {
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "exists.md"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc := filepath.Join(root, "README.md")
+	text := "[ok](exists.md) [anchor](exists.md#sec) [ext](https://example.com) [page](#sec)\n[broken](missing.md)\n[out](../escape.md)\n"
+	errs := checkLinks(root, doc, text)
+	if len(errs) != 2 {
+		t.Fatalf("got %d errors, want 2 (broken + escape): %v", len(errs), errs)
+	}
+}
+
+func TestCheckGoBlocks(t *testing.T) {
+	good := "intro\n```go\nx := 1\nif x > 0 {\n\tfmt.Println(x)\n}\n```\n"
+	if errs := checkGoBlocks("doc", good); len(errs) != 0 {
+		t.Fatalf("clean block rejected: %v", errs)
+	}
+	spaces := "```go\nif true {\n    fmt.Println(1)\n}\n```\n" // 4-space indent
+	if errs := checkGoBlocks("doc", spaces); len(errs) == 0 {
+		t.Fatal("space-indented block accepted")
+	}
+	unparsable := "```go\nfunc {{{\n```\n"
+	if errs := checkGoBlocks("doc", unparsable); len(errs) == 0 {
+		t.Fatal("unparsable block accepted")
+	}
+	fullFile := "```go\npackage main\n\nfunc main() {}\n```\n"
+	if errs := checkGoBlocks("doc", fullFile); len(errs) != 0 {
+		t.Fatalf("full-file block rejected: %v", errs)
+	}
+	unterminated := "```go\nx := 1\n"
+	if errs := checkGoBlocks("doc", unterminated); len(errs) == 0 {
+		t.Fatal("unterminated block accepted")
+	}
+}

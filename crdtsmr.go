@@ -37,8 +37,12 @@
 // The packages under internal/ hold the implementation: the protocol
 // (internal/core), the CRDT library (internal/crdt), transports
 // (internal/transport), the runtime (internal/cluster), the sharded store
-// (internal/store), the Multi-Paxos and Raft baselines, the correctness
-// checker, and the benchmark harness.
+// (internal/store), the network serving layer and its client library
+// (internal/server, internal/client — see docs/PROTOCOL.md for the wire
+// format and cmd/crdtsmrd for the daemon), the Multi-Paxos and Raft
+// baselines, the correctness checker, and the benchmark harness. For a
+// map from the paper's sections to the packages, see
+// docs/ARCHITECTURE.md.
 package crdtsmr
 
 import (

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunNetSystem(t *testing.T) {
+	sys, err := NewNetSystem(3, 4, 0, NetProfile{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	res := Run(sys, RunConfig{Clients: 12, ReadFraction: 0.5, Duration: 300 * time.Millisecond, Warmup: 50 * time.Millisecond})
+	if res.Ops == 0 {
+		t.Fatal("no operations completed")
+	}
+	if res.Errors > 0 {
+		t.Fatalf("%d errors in failure-free run", res.Errors)
+	}
+	if res.ReadLat.Count == 0 || res.UpdateLat.Count == 0 {
+		t.Fatalf("one-sided workload recorded: %+v", res)
+	}
+}
+
+func TestNetSystemCrashSurfacesErrors(t *testing.T) {
+	sys, err := NewNetSystem(3, 2, 0, NetProfile{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	// The load generator reconnects on errors, so a mid-run crash must
+	// not sink the whole run (Figure 4 behaviour over the network path).
+	res := Run(sys, RunConfig{
+		Clients:      6,
+		ReadFraction: 0.5,
+		Duration:     600 * time.Millisecond,
+		Warmup:       50 * time.Millisecond,
+		FailAfter:    200 * time.Millisecond,
+		FailReplica:  2,
+	})
+	if res.Ops == 0 {
+		t.Fatal("no operations completed across the crash")
+	}
+}
+
+func TestFigureClients(t *testing.T) {
+	s := tinyScale()
+	var buf bytes.Buffer
+	if err := FigureClients(&buf, s, []int{1, 2}, []int{2, 4}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure C") || !strings.Contains(out, "keys\\clients") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	if !strings.Contains(out, "with per-key") {
+		t.Fatalf("missing batched sweep:\n%s", out)
+	}
+}

@@ -1,0 +1,7 @@
+// Package bench is the evaluation harness: a closed-loop load generator
+// equivalent to the paper's Basho Bench setup (§4: each client submits a
+// request to one of the three replicas and waits for the reply before
+// submitting the next; clients are spread evenly over replicas; throughput
+// is aggregated in 1 s intervals and reported as the median), plus the
+// drivers that regenerate every figure of the evaluation section.
+package bench

@@ -1,0 +1,8 @@
+// Package checker validates the replication protocol: it records operation
+// histories, decides linearizability for increment/read counters, and runs
+// the protocol under a seeded scheduler that enforces random interleavings
+// of incoming messages — the methodology the paper reports for its own
+// implementation ("The implementation's correctness was tested using a
+// protocol scheduler that enforces random interleavings of incoming
+// messages", §4).
+package checker

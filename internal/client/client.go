@@ -1,0 +1,414 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crdtsmr/internal/wire"
+)
+
+// Config configures a Client.
+type Config struct {
+	// Addrs lists the client-facing addresses of the cluster's servers.
+	// Operations start at a round-robin-chosen address and fail over to
+	// the others per the retry policy.
+	Addrs []string
+	// DialTimeout bounds one connection attempt. Default 2 s.
+	DialTimeout time.Duration
+	// RequestTimeout is the per-operation deadline applied when the
+	// caller's context has none. Default 10 s.
+	RequestTimeout time.Duration
+	// MaxAttempts caps tries per operation (first attempt included)
+	// across addresses. Default len(Addrs) + 1.
+	MaxAttempts int
+	// RetryBackoff is slept between attempts. Default 5 ms.
+	RetryBackoff time.Duration
+	// ConnsPerAddr is the connection pool size per address. Requests
+	// pipeline, so a small pool serves many concurrent callers.
+	// Default 2.
+	ConnsPerAddr int
+}
+
+func (c Config) withDefaults() Config {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = len(c.Addrs) + 1
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 5 * time.Millisecond
+	}
+	if c.ConnsPerAddr <= 0 {
+		c.ConnsPerAddr = 2
+	}
+	return c
+}
+
+// ServerError is a non-OK response from a server, carrying the wire
+// status (wire.Status*) and the server's message.
+type ServerError struct {
+	Status byte
+	Msg    string
+}
+
+func (e *ServerError) Error() string {
+	status := map[byte]string{
+		wire.StatusUnavailable: "unavailable",
+		wire.StatusUncertain:   "uncertain",
+		wire.StatusBadRequest:  "bad request",
+		wire.StatusError:       "error",
+	}[e.Status]
+	if status == "" {
+		status = fmt.Sprintf("status %d", e.Status)
+	}
+	return fmt.Sprintf("client: server %s: %s", status, e.Msg)
+}
+
+// IsUnavailable reports whether err means the operation was refused
+// before the protocol ran (provably not applied).
+func IsUnavailable(err error) bool {
+	var se *ServerError
+	return errors.As(err, &se) && se.Status == wire.StatusUnavailable
+}
+
+// IsUncertain reports whether err leaves the operation's fate unknown:
+// it may or may not have been applied (server-side timeout or abort, or a
+// connection that died with an update in flight).
+func IsUncertain(err error) bool {
+	if errors.Is(err, errConnFailed) {
+		return true
+	}
+	var se *ServerError
+	return errors.As(err, &se) && se.Status == wire.StatusUncertain
+}
+
+// ErrClosed is returned by operations on a closed client.
+var ErrClosed = errors.New("client: closed")
+
+// errConnFailed wraps connection-level failures after a request was
+// written — the response is gone but the request may have been executed.
+var errConnFailed = errors.New("client: connection failed")
+
+// errNotSent wraps failures that provably precede the write (the pooled
+// connection was already dead), so any operation may retry elsewhere.
+var errNotSent = errors.New("client: request not sent")
+
+// Client is a pooled, pipelining client for one cluster. It is safe for
+// concurrent use; typed handles share the client's pool.
+type Client struct {
+	cfg   Config
+	pools []*pool
+	next  atomic.Uint64 // round-robin address cursor
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// New returns a client for the given cluster addresses. Connections are
+// dialed lazily on first use.
+func New(cfg Config) (*Client, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Addrs) == 0 {
+		return nil, errors.New("client: no server addresses")
+	}
+	c := &Client{cfg: cfg}
+	for _, addr := range cfg.Addrs {
+		c.pools = append(c.pools, newPool(addr, cfg))
+	}
+	return c, nil
+}
+
+// Close tears down every pooled connection. In-flight requests fail with
+// a connection error.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	for _, p := range c.pools {
+		p.close()
+	}
+	return nil
+}
+
+// do runs one request with retries. retryInFlight permits retrying after
+// failures that leave the operation's fate unknown (safe for reads and
+// admin commands, not for updates).
+func (c *Client) do(ctx context.Context, req *wire.Request, retryInFlight bool) (*wire.Response, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.mu.Unlock()
+
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.cfg.RequestTimeout)
+		defer cancel()
+	}
+
+	// Reduce the cursor modulo the pool count while still in uint64, so
+	// the int conversion can never go negative (32-bit platforms).
+	start := int(c.next.Add(1) % uint64(len(c.pools)))
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(c.cfg.RetryBackoff):
+			case <-ctx.Done():
+				return nil, fmt.Errorf("%w (last attempt: %v)", ctx.Err(), lastErr)
+			}
+		}
+		p := c.pools[(start+attempt)%len(c.pools)]
+		cn, err := p.get(ctx)
+		if err != nil {
+			// Nothing was sent; always safe to try the next address.
+			lastErr = err
+			continue
+		}
+		resp, err := cn.roundtrip(ctx, req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("%w (last attempt: %v)", ctx.Err(), err)
+			}
+			if errors.Is(err, wire.ErrFrameTooLarge) {
+				// Terminal everywhere: every replica enforces the same limit.
+				return nil, fmt.Errorf("client: request exceeds frame limit: %w", err)
+			}
+			if errors.Is(err, errNotSent) {
+				// The connection was dead before the frame was written:
+				// like a dial failure, safe to retry any operation.
+				lastErr = err
+				continue
+			}
+			lastErr = fmt.Errorf("%w: %v", errConnFailed, err)
+			if !retryInFlight {
+				return nil, lastErr
+			}
+			continue
+		}
+		if resp.Status == wire.StatusOK {
+			return resp, nil
+		}
+		lastErr = &ServerError{Status: resp.Status, Msg: resp.Msg}
+		switch resp.Status {
+		case wire.StatusUnavailable:
+			continue // provably not applied: retry anywhere
+		case wire.StatusUncertain:
+			if retryInFlight {
+				continue
+			}
+			return nil, lastErr
+		default:
+			return nil, lastErr // terminal
+		}
+	}
+	return nil, fmt.Errorf("client: %d attempts exhausted: %w", c.cfg.MaxAttempts, lastErr)
+}
+
+// --- connection pool ---
+
+type pool struct {
+	addr string
+	cfg  Config
+
+	mu     sync.Mutex
+	conns  []*conn // fixed-size slots, nil or dead until (re)dialed
+	rr     uint64
+	closed bool
+}
+
+func newPool(addr string, cfg Config) *pool {
+	return &pool{addr: addr, cfg: cfg, conns: make([]*conn, cfg.ConnsPerAddr)}
+}
+
+// get returns a live connection from the pool, dialing the slot if its
+// connection is absent or dead.
+func (p *pool) get(ctx context.Context) (*conn, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	slot := int(p.rr % uint64(len(p.conns)))
+	p.rr++
+	if cn := p.conns[slot]; cn != nil && !cn.isDead() {
+		p.mu.Unlock()
+		return cn, nil
+	}
+	p.mu.Unlock()
+
+	d := net.Dialer{Timeout: p.cfg.DialTimeout}
+	nc, err := d.DialContext(ctx, "tcp", p.addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", p.addr, err)
+	}
+	cn := newConn(nc)
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		cn.fail(ErrClosed)
+		return nil, ErrClosed
+	}
+	if existing := p.conns[slot]; existing != nil && !existing.isDead() {
+		// Lost a dial race; keep the winner.
+		cn.fail(errors.New("client: duplicate dial"))
+		return existing, nil
+	}
+	p.conns[slot] = cn
+	return cn, nil
+}
+
+func (p *pool) close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	for _, cn := range p.conns {
+		if cn != nil {
+			cn.fail(ErrClosed)
+		}
+	}
+}
+
+// --- one pipelined connection ---
+
+type conn struct {
+	nc net.Conn
+
+	wmu sync.Mutex // serializes frame writes
+	bw  *bufio.Writer
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *wire.Response
+	err     error // non-nil once dead
+
+	done chan struct{} // closed when the read loop exits
+}
+
+func newConn(nc net.Conn) *conn {
+	c := &conn{
+		nc:      nc,
+		bw:      bufio.NewWriter(nc),
+		pending: make(map[uint64]chan *wire.Response),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c
+}
+
+func (c *conn) isDead() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err != nil
+}
+
+// fail marks the connection dead and unblocks every pending request.
+func (c *conn) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+		_ = c.nc.Close()
+		for id, ch := range c.pending {
+			delete(c.pending, id)
+			close(ch)
+		}
+	}
+	c.mu.Unlock()
+}
+
+func (c *conn) readLoop() {
+	defer close(c.done)
+	br := bufio.NewReader(c.nc)
+	for {
+		frame, err := wire.ReadFrame(br)
+		if err != nil {
+			c.fail(fmt.Errorf("client: read: %w", err))
+			return
+		}
+		resp, err := wire.DecodeResponse(frame)
+		if err != nil {
+			// A peer speaking garbage is a connection-level error: no
+			// response on this conn can be trusted to correlate.
+			c.fail(fmt.Errorf("client: decode response: %w", err))
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[resp.ID]
+		if ok {
+			delete(c.pending, resp.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- resp
+		}
+	}
+}
+
+// roundtrip sends req (assigning it a connection-unique ID) and waits for
+// the matching response. Concurrent roundtrips on one conn pipeline.
+func (c *conn) roundtrip(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+	ch := make(chan *wire.Response, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %v", errNotSent, err)
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	r := *req
+	r.ID = id
+	c.wmu.Lock()
+	err := wire.WriteFrame(c.bw, r.Encode())
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		if errors.Is(err, wire.ErrFrameTooLarge) {
+			// Local size check, nothing written: the request is bad, the
+			// connection is fine — don't kill other callers' pipelines.
+			c.mu.Lock()
+			delete(c.pending, id)
+			c.mu.Unlock()
+			return nil, err
+		}
+		c.fail(fmt.Errorf("client: write: %w", err))
+		return nil, err
+	}
+
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.err
+			c.mu.Unlock()
+			return nil, err
+		}
+		return resp, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}

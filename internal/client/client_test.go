@@ -1,0 +1,211 @@
+package client_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"crdtsmr/internal/client"
+	"crdtsmr/internal/cluster"
+	"crdtsmr/internal/core"
+	"crdtsmr/internal/crdt"
+	"crdtsmr/internal/server"
+	"crdtsmr/internal/transport"
+)
+
+// startCluster runs n replicas over an in-process mesh, each fronted by a
+// network server, and returns the cluster for failure injection.
+func startCluster(t *testing.T, n int) (addrs []string, cl *cluster.Cluster) {
+	t.Helper()
+	mesh := transport.NewMesh(transport.WithSeed(1))
+	ids := make([]transport.NodeID, n)
+	for i := range ids {
+		ids[i] = transport.NodeID(fmt.Sprintf("n%d", i+1))
+	}
+	cl, err := cluster.New(mesh, cluster.Config{
+		Members:            ids,
+		Initial:            crdt.NewGCounter(),
+		InitialForKey:      server.TypedKeyInitial(crdt.TypeGCounter),
+		Options:            core.DefaultOptions(),
+		RetransmitInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		mesh.Close()
+		t.Fatal(err)
+	}
+	var servers []*server.Server
+	for _, id := range ids {
+		srv, err := server.Start(cl.Node(id), "127.0.0.1:0", server.Options{RequestTimeout: 5 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers = append(servers, srv)
+		addrs = append(addrs, srv.Addr())
+	}
+	t.Cleanup(func() {
+		for _, srv := range servers {
+			_ = srv.Close()
+		}
+		cl.Close()
+		mesh.Close()
+	})
+	return addrs, cl
+}
+
+// TestRetryOnDownNode is the failover contract of the client library: with
+// one server's replica down (SetCrashed through the cluster), updates and
+// reads submitted to a client that lists every server must still succeed —
+// the down replica answers StatusUnavailable (provably not applied) and the
+// client retries the operation on the next address.
+func TestRetryOnDownNode(t *testing.T) {
+	addrs, cl := startCluster(t, 3)
+	ctx := context.Background()
+
+	c, err := client.New(client.Config{
+		Addrs:          addrs,
+		MaxAttempts:    6,
+		RetryBackoff:   time.Millisecond,
+		RequestTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Touch every address once so the pool has live connections to the
+	// node that is about to go down.
+	for range addrs {
+		if err := c.Ping(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cl.Crash("n1") // SetCrashed(true) under the hood; its server stays up
+
+	// A 2/3 quorum remains: every operation must complete despite ~1/3 of
+	// attempts landing on the crashed replica first.
+	ctr := c.Counter("failover")
+	const ops = 30
+	for i := 0; i < ops; i++ {
+		if err := ctr.Inc(ctx, 1); err != nil {
+			t.Fatalf("inc %d with one node down: %v", i, err)
+		}
+		if _, err := ctr.Value(ctx); err != nil {
+			t.Fatalf("read %d with one node down: %v", i, err)
+		}
+	}
+	if v, err := ctr.Value(ctx); err != nil || v != ops {
+		t.Fatalf("counter = %d, %v; want %d", v, err, ops)
+	}
+
+	// After recovery the previously down replica serves again.
+	cl.Recover("n1")
+	c1, err := client.New(client.Config{Addrs: addrs[:1], RequestTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	if v, err := c1.Counter("failover").Value(ctx); err != nil || v != ops {
+		t.Fatalf("recovered replica reads %d, %v; want %d", v, err, ops)
+	}
+}
+
+// TestRetryDialFailure lists a dead address first: operations must fail
+// over to the live servers (dialing sent nothing, so even updates retry).
+func TestRetryDialFailure(t *testing.T) {
+	addrs, _ := startCluster(t, 3)
+
+	// Reserve-and-release a port so the first address refuses connections.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	_ = ln.Close()
+
+	c, err := client.New(client.Config{
+		Addrs:          append([]string{dead}, addrs...),
+		MaxAttempts:    8,
+		RetryBackoff:   time.Millisecond,
+		DialTimeout:    500 * time.Millisecond,
+		RequestTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := c.Counter("k").Inc(ctx, 1); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if v, err := c.Counter("k").Value(ctx); err != nil || v != 8 {
+		t.Fatalf("counter = %d, %v; want 8", v, err)
+	}
+}
+
+// TestPerRequestTimeout checks that a context deadline fails an operation
+// promptly instead of hanging on an unresponsive address.
+func TestPerRequestTimeout(t *testing.T) {
+	// A listener that accepts and never answers.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+		}
+	}()
+
+	c, err := client.New(client.Config{Addrs: []string{ln.Addr().String()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = c.Ping(ctx)
+	if err == nil {
+		t.Fatal("ping of a black-hole server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+}
+
+// TestClosedClient checks operations after Close fail fast with ErrClosed.
+func TestClosedClient(t *testing.T) {
+	addrs, _ := startCluster(t, 1)
+	c, err := client.New(client.Config{Addrs: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Close()
+	if err := c.Ping(context.Background()); err == nil {
+		t.Fatal("ping on a closed client succeeded")
+	}
+}

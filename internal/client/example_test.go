@@ -1,0 +1,77 @@
+package client_test
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"crdtsmr/internal/client"
+	"crdtsmr/internal/cluster"
+	"crdtsmr/internal/core"
+	"crdtsmr/internal/crdt"
+	"crdtsmr/internal/server"
+	"crdtsmr/internal/transport"
+)
+
+// Example connects a network client to a served 3-replica cluster: the
+// replicas replicate over an in-process mesh here, but the client path —
+// frames, pooling, pipelining, typed handles — is the same TCP stack a
+// cmd/crdtsmrd deployment serves.
+func Example() {
+	// Cluster side: three replicas and a network server per replica.
+	mesh := transport.NewMesh(transport.WithSeed(1))
+	defer mesh.Close()
+	members := []transport.NodeID{"n1", "n2", "n3"}
+	cl, err := cluster.New(mesh, cluster.Config{
+		Members:            members,
+		Initial:            crdt.NewGCounter(),
+		InitialForKey:      server.TypedKeyInitial(crdt.TypeGCounter),
+		Options:            core.DefaultOptions(),
+		RetransmitInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer cl.Close()
+	var addrs []string
+	for _, id := range members {
+		srv, err := server.Start(cl.Node(id), "127.0.0.1:0", server.Options{})
+		if err != nil {
+			panic(err)
+		}
+		defer srv.Close()
+		addrs = append(addrs, srv.Addr())
+	}
+
+	// Client side: a pooled, pipelining client that fails over between
+	// the listed replicas.
+	c, err := client.New(client.Config{Addrs: addrs})
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	ctr := c.Counter("views")
+	for i := 0; i < 4; i++ {
+		if err := ctr.Inc(ctx, 1); err != nil {
+			panic(err)
+		}
+	}
+	v, err := ctr.Value(ctx) // linearizable read over the network
+	if err != nil {
+		panic(err)
+	}
+
+	set := c.Set("or-set/sessions") // typed by the key-prefix convention
+	if err := set.Add(ctx, "alice"); err != nil {
+		panic(err)
+	}
+	members2, err := set.Elements(ctx)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println(v, members2)
+	// Output: 4 [alice]
+}

@@ -1,0 +1,216 @@
+package client
+
+// Typed handles mirroring the facade's Counter/Set/Register API, plus raw
+// queries and admin commands. Handles are cheap stateless views over the
+// client's connection pool; create as many as convenient.
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+
+	"crdtsmr/internal/core"
+	"crdtsmr/internal/crdt"
+	"crdtsmr/internal/wire"
+)
+
+// QueryInfo describes how a linearizable read was served.
+type QueryInfo struct {
+	RoundTrips int
+	Attempts   int
+	Path       core.LearnPath
+}
+
+func uvarintArg(n uint64) []byte {
+	return binary.AppendUvarint(nil, n)
+}
+
+func (c *Client) update(ctx context.Context, key, crdtType, mutation string, args ...[]byte) error {
+	if len(args) > wire.MaxArgs {
+		// Enforced here so the failure is a local error, not a silent
+		// server-side connection drop on the undecodable frame.
+		return fmt.Errorf("client: %d update operands exceeds wire.MaxArgs (%d)", len(args), wire.MaxArgs)
+	}
+	req := &wire.Request{Op: wire.OpUpdate, Key: key, CRDTType: crdtType, Mutation: mutation, Args: args}
+	_, err := c.do(ctx, req, false)
+	return err
+}
+
+// Query learns a linearizable state of the object stored under key. The
+// payload type must be registered (all built-in types are).
+func (c *Client) Query(ctx context.Context, key string) (crdt.State, QueryInfo, error) {
+	resp, err := c.do(ctx, &wire.Request{Op: wire.OpQuery, Key: key}, true)
+	if err != nil {
+		return nil, QueryInfo{}, err
+	}
+	st, err := crdt.Unmarshal(resp.State)
+	if err != nil {
+		return nil, QueryInfo{}, fmt.Errorf("client: decode state: %w", err)
+	}
+	info := QueryInfo{
+		RoundTrips: int(resp.RoundTrips),
+		Attempts:   int(resp.Attempts),
+		Path:       core.LearnPath(resp.Path),
+	}
+	return st, info, nil
+}
+
+// Ping round-trips an admin frame to any reachable server.
+func (c *Client) Ping(ctx context.Context) error {
+	resp, err := c.do(ctx, &wire.Request{Op: wire.OpAdmin, Cmd: "ping"}, true)
+	if err != nil {
+		return err
+	}
+	if string(resp.Payload) != "pong" {
+		return fmt.Errorf("client: unexpected ping reply %q", resp.Payload)
+	}
+	return nil
+}
+
+// Keys returns the object keys instantiated on the answering replica,
+// sorted. Replicas may transiently disagree (keys instantiate lazily).
+func (c *Client) Keys(ctx context.Context) ([]string, error) {
+	resp, err := c.do(ctx, &wire.Request{Op: wire.OpAdmin, Cmd: "keys"}, true)
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(resp.Payload)
+	n := r.Uvarint()
+	// Cap the preallocation by the payload size (every key costs at least
+	// one byte), so a corrupt count cannot panic or balloon the client.
+	capHint := n
+	if max := uint64(len(resp.Payload)); capHint > max {
+		capHint = max
+	}
+	keys := make([]string, 0, capHint)
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		keys = append(keys, r.Str())
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("client: decode keys: %w", err)
+	}
+	return keys, nil
+}
+
+// Counter returns a typed handle on the G-Counter stored under key.
+func (c *Client) Counter(key string) *Counter { return &Counter{c: c, key: key} }
+
+// Counter is a client-side handle on a replicated G-Counter.
+type Counter struct {
+	c   *Client
+	key string
+}
+
+// Inc increments the counter by n (linearizable, one protocol round trip).
+func (h *Counter) Inc(ctx context.Context, n uint64) error {
+	return h.c.update(ctx, h.key, crdt.TypeGCounter, wire.MutInc, uvarintArg(n))
+}
+
+// Value reads the counter, linearizably.
+func (h *Counter) Value(ctx context.Context) (uint64, error) {
+	st, _, err := h.c.Query(ctx, h.key)
+	if err != nil {
+		return 0, err
+	}
+	g, ok := st.(*crdt.GCounter)
+	if !ok {
+		return 0, fmt.Errorf("client: payload of %q is %s, not a G-Counter", h.key, st.TypeName())
+	}
+	return g.Value(), nil
+}
+
+// PNCounter returns a typed handle on the PN-Counter stored under key.
+func (c *Client) PNCounter(key string) *PNCounter { return &PNCounter{c: c, key: key} }
+
+// PNCounter is a client-side handle on a replicated PN-Counter.
+type PNCounter struct {
+	c   *Client
+	key string
+}
+
+// Inc increments the counter by n.
+func (h *PNCounter) Inc(ctx context.Context, n uint64) error {
+	return h.c.update(ctx, h.key, crdt.TypePNCounter, wire.MutInc, uvarintArg(n))
+}
+
+// Dec decrements the counter by n.
+func (h *PNCounter) Dec(ctx context.Context, n uint64) error {
+	return h.c.update(ctx, h.key, crdt.TypePNCounter, wire.MutDec, uvarintArg(n))
+}
+
+// Value reads the counter, linearizably.
+func (h *PNCounter) Value(ctx context.Context) (int64, error) {
+	st, _, err := h.c.Query(ctx, h.key)
+	if err != nil {
+		return 0, err
+	}
+	p, ok := st.(*crdt.PNCounter)
+	if !ok {
+		return 0, fmt.Errorf("client: payload of %q is %s, not a PN-Counter", h.key, st.TypeName())
+	}
+	return p.Value(), nil
+}
+
+// Set returns a typed handle on the observed-remove set stored under key.
+func (c *Client) Set(key string) *Set { return &Set{c: c, key: key} }
+
+// Set is a client-side handle on a replicated OR-Set. The serving replica
+// tags additions, so one handle is safe for concurrent use.
+type Set struct {
+	c   *Client
+	key string
+}
+
+// Add inserts an element (add-wins on concurrent removal).
+func (h *Set) Add(ctx context.Context, element string) error {
+	return h.c.update(ctx, h.key, crdt.TypeORSet, wire.MutAdd, []byte(element))
+}
+
+// Remove deletes the element's observed additions.
+func (h *Set) Remove(ctx context.Context, element string) error {
+	return h.c.update(ctx, h.key, crdt.TypeORSet, wire.MutRemove, []byte(element))
+}
+
+// Elements reads the membership, linearizably.
+func (h *Set) Elements(ctx context.Context) ([]string, error) {
+	st, _, err := h.c.Query(ctx, h.key)
+	if err != nil {
+		return nil, err
+	}
+	set, ok := st.(*crdt.ORSet)
+	if !ok {
+		return nil, fmt.Errorf("client: payload of %q is %s, not an OR-Set", h.key, st.TypeName())
+	}
+	return set.Elements(), nil
+}
+
+// Register returns a typed handle on the last-writer-wins register stored
+// under key.
+func (c *Client) Register(key string) *Register { return &Register{c: c, key: key} }
+
+// Register is a client-side handle on a replicated LWW-Register.
+type Register struct {
+	c   *Client
+	key string
+}
+
+// Store writes the register. Concurrent writes resolve last-writer-wins
+// by the serving replicas' wall clocks, replica ID as tie-breaker.
+func (h *Register) Store(ctx context.Context, value string) error {
+	return h.c.update(ctx, h.key, crdt.TypeLWWRegister, wire.MutSet, []byte(value))
+}
+
+// Load reads the register, linearizably. ok is false if the register was
+// never written.
+func (h *Register) Load(ctx context.Context) (value string, ok bool, err error) {
+	st, _, err := h.c.Query(ctx, h.key)
+	if err != nil {
+		return "", false, err
+	}
+	reg, isReg := st.(*crdt.LWWRegister)
+	if !isReg {
+		return "", false, fmt.Errorf("client: payload of %q is %s, not an LWW-Register", h.key, st.TypeName())
+	}
+	val, ts, _ := reg.Value()
+	return val, ts != 0, nil
+}

@@ -1,0 +1,4 @@
+// Package clock abstracts time for the replication protocols so the same
+// protocol code runs against the wall clock in production and against a
+// manually advanced simulated clock in deterministic tests.
+package clock

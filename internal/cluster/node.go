@@ -1,18 +1,3 @@
-// Package cluster provides the asynchronous runtime that turns the pure
-// protocol state machine of internal/core into live replicas: one event
-// loop per node serializes client commands, inbound messages, and timers
-// (the paper's serial-process assumption, §3.2), a retransmission timer per
-// in-flight request covers message loss, and an optional per-proposer batch
-// (§3.6) amortizes protocol runs across commands.
-//
-// A node is not limited to one replicated object: because the protocol
-// keeps no cross-command log, replication instances compose per key. Each
-// object key owns an independent core.Replica (payload + round counter,
-// nothing more), all keys share the node's event loop and transport
-// connection, and protocol messages carry an object-ID envelope
-// (internal/wire) that routes them to the right instance. Replicas are
-// instantiated lazily on first touch — locally by a command, remotely by
-// the first inbound message for the key.
 package cluster
 
 import (

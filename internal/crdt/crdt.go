@@ -1,18 +1,3 @@
-// Package crdt implements state-based conflict-free replicated data types
-// (CRDTs) as join semilattices, following Shapiro et al. (SSS 2011) and the
-// formulation in Skrzypczak et al. (PODC 2019), §2.2.
-//
-// Every payload type implements State. A State is a point in a join
-// semilattice: Merge computes the least upper bound (⊔) and Compare the
-// partial order (⊑). States are immutable values: Merge and all mutators
-// return fresh payloads and never modify their operands, so states can be
-// shared freely between replicas, protocol goroutines, and histories.
-//
-// The package ships the G-Counter of the paper's Algorithm 1 plus the
-// common state-based types from the CRDT literature (PN-Counter, Max- and
-// LWW-Registers, MV-Register, G-Set, 2P-Set, OR-Set, EW-Flag, LWW-Map,
-// vector clocks) and a delta-mutation extension (Almeida et al., NETYS 2015)
-// used by the delta-merge ablation benchmark.
 package crdt
 
 import (

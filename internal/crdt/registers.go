@@ -150,6 +150,14 @@ func (r *LWWRegister) Compare(other State) (bool, error) {
 // TypeName implements State.
 func (r *LWWRegister) TypeName() string { return TypeLWWRegister }
 
+// String renders the register for logs and the CLI.
+func (r *LWWRegister) String() string {
+	if r.ts == 0 {
+		return "LWWRegister(unset)"
+	}
+	return fmt.Sprintf("LWWRegister(%q @%d by %s)", r.val, r.ts, r.actor)
+}
+
 // MarshalBinary implements State.
 func (r *LWWRegister) MarshalBinary() ([]byte, error) {
 	e := newEncBuf(len(r.val) + len(r.actor) + 12)

@@ -1,0 +1,16 @@
+// Package gla implements the generalized lattice agreement protocol of
+// Faleiro, Rajamani, Rajan, Ramalingam, Vaswani (PODC 2012) — the wait-free
+// comparator the paper discusses but could not benchmark, because its
+// messages carry "an ever-increasing set of proposed values" with no
+// published truncation mechanism (§4). We implement it to reproduce that
+// message-growth argument quantitatively (the ablation benchmark compares
+// its payload sizes against CRDT Paxos's constant-size coordination
+// overhead).
+//
+// Values are sets of commands. Each proposer maintains a current proposal
+// (a command set); acceptors accept a proposal iff it includes their
+// current accepted set, otherwise they reject and return the union. A
+// proposer refines its proposal with every rejection and retries; after at
+// most N rejections the proposal is accepted by a quorum and its value is
+// learned (wait-free, O(N) message delays).
+package gla

@@ -1,9 +1,3 @@
-// Package rsm defines the replicated-state-machine glue shared by the
-// log-based baseline protocols (internal/raft, internal/paxos): an opaque
-// command interface with snapshot support, and the replicated integer
-// counter both baselines replicate in the paper's evaluation ("For
-// Multi-Paxos and Raft, we used a simple replicated integer as the
-// counter", §4).
 package rsm
 
 import (

@@ -1,0 +1,27 @@
+// Package server is the network-facing serving layer: it exposes one
+// replica (a cluster.Node and its keyspace of per-key replication
+// instances) to remote clients over the client frame protocol specified
+// in docs/PROTOCOL.md.
+//
+// A Server accepts TCP connections and speaks length-prefixed binary
+// frames (internal/wire: Request, Response). Requests on one connection
+// are dispatched concurrently — clients pipeline, responses return in
+// completion order and are matched by request ID — so one connection can
+// keep many protocol runs in flight, which is what makes a handful of
+// pooled connections enough for hundreds of closed-loop clients.
+//
+// Updates arrive as named mutations ("inc", "add", "set", ...) on a
+// declared CRDT type rather than as opaque functions: the update
+// functions of the replication protocol are Go closures applied at the
+// local replica (they never cross the replica wire, §3.2 of the paper),
+// so the client protocol names them and the server builds the closure.
+// The mutation table lives in ops.go; docs/PROTOCOL.md lists the
+// supported mutations per payload type.
+//
+// Every response carries a status that tells the client whether a failed
+// operation is safe to retry elsewhere: StatusUnavailable means the
+// replica refused the command before running the protocol (not applied,
+// always retryable), StatusUncertain means the command's fate is unknown
+// (only queries are auto-retried), and StatusBadRequest/StatusError are
+// terminal. internal/client implements the matching retry policy.
+package server

@@ -1,0 +1,168 @@
+package server_test
+
+// End-to-end acceptance test of the serving layer: a 3-node cluster whose
+// replicas talk to each other over the real TCP transport (the same
+// wiring cmd/crdtsmrd uses), each node fronted by a network server, under
+// many concurrent internal/client clients working several keys. Every
+// completed operation is recorded in a keyed history and checked with the
+// per-key linearizability checker — the guarantee must survive the full
+// path: client frame → server → per-key replica → quorum → response.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"crdtsmr/internal/checker"
+	"crdtsmr/internal/client"
+	"crdtsmr/internal/cluster"
+	"crdtsmr/internal/core"
+	"crdtsmr/internal/crdt"
+	"crdtsmr/internal/server"
+	"crdtsmr/internal/transport"
+)
+
+// reservePorts picks n distinct loopback addresses by binding and
+// releasing listeners, so the nodes' TCP transports can be configured
+// with each other's addresses up front.
+func reservePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	listeners := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range listeners {
+		_ = ln.Close()
+	}
+	return addrs
+}
+
+func TestNetworkPathLinearizable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second network test")
+	}
+	const (
+		replicas = 3
+		nKeys    = 4
+		clients  = 12 // concurrent clients, spread over keys and servers
+		opsEach  = 25
+	)
+
+	ids := make([]transport.NodeID, replicas)
+	for i := range ids {
+		ids[i] = transport.NodeID(fmt.Sprintf("n%d", i+1))
+	}
+	meshAddrs := reservePorts(t, replicas)
+	book := make(map[transport.NodeID]string, replicas)
+	for i, id := range ids {
+		book[id] = meshAddrs[i]
+	}
+
+	cfg := cluster.Config{
+		Members:            ids,
+		Initial:            crdt.NewGCounter(),
+		InitialForKey:      server.TypedKeyInitial(crdt.TypeGCounter),
+		Options:            core.DefaultOptions(),
+		RetransmitInterval: 20 * time.Millisecond,
+	}
+	var nodes []*cluster.Node
+	var servers []*server.Server
+	defer func() {
+		for _, srv := range servers {
+			_ = srv.Close()
+		}
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+	}()
+	serverAddrs := make([]string, 0, replicas)
+	for _, id := range ids {
+		node, err := cluster.NewNode(id, cfg, func(nid transport.NodeID, h transport.Handler) transport.Conn {
+			peers := make(map[transport.NodeID]string)
+			for p, a := range book {
+				if p != nid {
+					peers[p] = a
+				}
+			}
+			tcp, err := transport.NewTCP(nid, book[nid], peers, h)
+			if err != nil {
+				t.Fatalf("tcp %s: %v", nid, err)
+			}
+			return tcp
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, node)
+		srv, err := server.Start(node, "127.0.0.1:0", server.Options{RequestTimeout: 10 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers = append(servers, srv)
+		serverAddrs = append(serverAddrs, srv.Addr())
+	}
+
+	hist := checker.NewKeyedHistory()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		key := fmt.Sprintf("obj/%d", i%nKeys)
+		addr := serverAddrs[(i/nKeys)%replicas]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := client.New(client.Config{Addrs: []string{addr}, RequestTimeout: 10 * time.Second})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			ctr := c.Counter(key)
+			h := hist.For(key)
+			for op := 0; op < opsEach; op++ {
+				if op%3 == 0 {
+					id := h.Begin(checker.OpInc)
+					if err := ctr.Inc(ctx, 1); err != nil {
+						h.Discard(id)
+						errs <- fmt.Errorf("inc %s: %w", key, err)
+						return
+					}
+					h.End(id, 0)
+				} else {
+					id := h.Begin(checker.OpRead)
+					v, err := ctr.Value(ctx)
+					if err != nil {
+						h.Discard(id)
+						errs <- fmt.Errorf("read %s: %w", key, err)
+						return
+					}
+					h.End(id, v)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if got := hist.Ops(); got != clients*opsEach {
+		t.Fatalf("recorded %d ops, want %d", got, clients*opsEach)
+	}
+	if err := checker.CheckKeyedLinearizable(hist); err != nil {
+		t.Fatalf("history through the network path is not linearizable: %v", err)
+	}
+}

@@ -1,0 +1,31 @@
+package server
+
+import (
+	"strings"
+
+	"crdtsmr/internal/crdt"
+)
+
+// TypedKeyInitial returns a cluster.Config.InitialForKey function
+// implementing the serving layer's key-naming convention: a key whose
+// first path segment is a registered CRDT type name holds a fresh payload
+// of that type ("or-set/sessions/eu" is an OR-Set, "lww-register/config"
+// an LWW-Register); every other key holds a fresh payload of defaultType.
+//
+// The rule is a pure function of the key, so every replica derives the
+// same initial payload independently — the precondition for per-key
+// instantiation without coordination. cmd/crdtsmrd installs it on every
+// node; docs/PROTOCOL.md documents it as part of the serving contract.
+func TypedKeyInitial(defaultType string) func(key string) crdt.State {
+	return func(key string) crdt.State {
+		prefix, _, _ := strings.Cut(key, "/") // whole key if it has no "/"
+		if s, err := crdt.New(prefix); err == nil {
+			return s
+		}
+		s, err := crdt.New(defaultType)
+		if err != nil {
+			return nil // unknown default type: reject every key
+		}
+		return s
+	}
+}

@@ -1,0 +1,38 @@
+package server_test
+
+import (
+	"testing"
+
+	"crdtsmr/internal/crdt"
+	"crdtsmr/internal/server"
+)
+
+func TestTypedKeyInitial(t *testing.T) {
+	initial := server.TypedKeyInitial(crdt.TypeGCounter)
+	cases := map[string]string{
+		"views":                crdt.TypeGCounter, // default
+		"or-set/sessions/eu":   crdt.TypeORSet,
+		"lww-register/config":  crdt.TypeLWWRegister,
+		"pn-counter/stock":     crdt.TypePNCounter,
+		"pn-counter":           crdt.TypePNCounter, // bare type name counts
+		"or-set":               crdt.TypeORSet,
+		"unknown-prefix/x":     crdt.TypeGCounter,
+		"g-counterish/suffix":  crdt.TypeGCounter, // prefix must match exactly
+		"":                     crdt.TypeGCounter,
+		"nested/or-set/within": crdt.TypeGCounter, // only the first segment types
+	}
+	for key, want := range cases {
+		s := initial(key)
+		if s == nil {
+			t.Errorf("key %q: nil initial state", key)
+			continue
+		}
+		if got := s.TypeName(); got != want {
+			t.Errorf("key %q: type %s, want %s", key, got, want)
+		}
+	}
+
+	if s := server.TypedKeyInitial("no-such-type")("anything"); s != nil {
+		t.Errorf("unknown default type produced %v, want nil (reject)", s)
+	}
+}

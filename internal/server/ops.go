@@ -1,0 +1,148 @@
+package server
+
+// The mutation table: named, typed update operations the client protocol
+// can request. The replication protocol applies update functions locally
+// at the serving replica (§3.2 — update functions never cross the replica
+// wire), so the client wire format names a mutation and the server builds
+// the corresponding closure here. The table mirrors the typed handles of
+// the public facade: counters, observed-remove sets, and last-writer-wins
+// registers, plus the PN-Counter.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"crdtsmr/internal/crdt"
+	"crdtsmr/internal/wire"
+)
+
+// errBadRequest marks request-shape errors (unknown mutation, wrong
+// operand count) so the dispatcher can answer StatusBadRequest instead of
+// StatusError.
+type errBadRequest struct{ msg string }
+
+func (e errBadRequest) Error() string { return e.msg }
+
+func badRequestf(format string, args ...any) error {
+	return errBadRequest{msg: fmt.Sprintf(format, args...)}
+}
+
+func argUint(req *wire.Request, i int) (uint64, error) {
+	if i >= len(req.Args) {
+		return 0, badRequestf("server: %s/%s needs %d operands, got %d", req.CRDTType, req.Mutation, i+1, len(req.Args))
+	}
+	v, n := binary.Uvarint(req.Args[i])
+	if n <= 0 {
+		return 0, badRequestf("server: %s/%s operand %d is not a uvarint", req.CRDTType, req.Mutation, i)
+	}
+	return v, nil
+}
+
+func argStr(req *wire.Request, i int) (string, error) {
+	if i >= len(req.Args) {
+		return "", badRequestf("server: %s/%s needs %d operands, got %d", req.CRDTType, req.Mutation, i+1, len(req.Args))
+	}
+	return string(req.Args[i]), nil
+}
+
+// typeErrf reports a payload-type mismatch: the object exists but holds a
+// different CRDT type than the request declared. Terminal (StatusError).
+func typeErrf(key string, got crdt.State, want string) error {
+	return fmt.Errorf("server: payload of %q is %s, not %s", key, got.TypeName(), want)
+}
+
+// updateFor translates an update request into the update closure submitted
+// to the local replica. The closure validates the payload type at apply
+// time, like the facade's typed handles.
+func (s *Server) updateFor(req *wire.Request) (crdt.Update, error) {
+	slot := string(s.node.ID())
+	switch req.CRDTType {
+	case crdt.TypeGCounter:
+		if req.Mutation != wire.MutInc {
+			return nil, badRequestf("server: unknown g-counter mutation %q", req.Mutation)
+		}
+		n, err := argUint(req, 0)
+		if err != nil {
+			return nil, err
+		}
+		return func(st crdt.State) (crdt.State, error) {
+			c, ok := st.(*crdt.GCounter)
+			if !ok {
+				return nil, typeErrf(req.Key, st, req.CRDTType)
+			}
+			return c.Inc(slot, n), nil
+		}, nil
+
+	case crdt.TypePNCounter:
+		if req.Mutation != wire.MutInc && req.Mutation != wire.MutDec {
+			return nil, badRequestf("server: unknown pn-counter mutation %q", req.Mutation)
+		}
+		n, err := argUint(req, 0)
+		if err != nil {
+			return nil, err
+		}
+		dec := req.Mutation == wire.MutDec
+		return func(st crdt.State) (crdt.State, error) {
+			c, ok := st.(*crdt.PNCounter)
+			if !ok {
+				return nil, typeErrf(req.Key, st, req.CRDTType)
+			}
+			if dec {
+				return c.Dec(slot, n), nil
+			}
+			return c.Inc(slot, n), nil
+		}, nil
+
+	case crdt.TypeORSet:
+		elem, err := argStr(req, 0)
+		if err != nil {
+			return nil, err
+		}
+		switch req.Mutation {
+		case wire.MutAdd:
+			// Observed-remove adds need a tag unique across the whole
+			// system's lifetime: the actor is this replica, the sequence
+			// number a server-lifetime counter seeded from the wall clock
+			// so tags stay unique across server restarts.
+			seq := s.seq.Add(1)
+			return func(st crdt.State) (crdt.State, error) {
+				set, ok := st.(*crdt.ORSet)
+				if !ok {
+					return nil, typeErrf(req.Key, st, req.CRDTType)
+				}
+				return set.Add(elem, slot, seq), nil
+			}, nil
+		case wire.MutRemove:
+			return func(st crdt.State) (crdt.State, error) {
+				set, ok := st.(*crdt.ORSet)
+				if !ok {
+					return nil, typeErrf(req.Key, st, req.CRDTType)
+				}
+				return set.Remove(elem), nil
+			}, nil
+		default:
+			return nil, badRequestf("server: unknown or-set mutation %q", req.Mutation)
+		}
+
+	case crdt.TypeLWWRegister:
+		if req.Mutation != wire.MutSet {
+			return nil, badRequestf("server: unknown lww-register mutation %q", req.Mutation)
+		}
+		val, err := argStr(req, 0)
+		if err != nil {
+			return nil, err
+		}
+		ts := uint64(time.Now().UnixNano())
+		return func(st crdt.State) (crdt.State, error) {
+			reg, ok := st.(*crdt.LWWRegister)
+			if !ok {
+				return nil, typeErrf(req.Key, st, req.CRDTType)
+			}
+			return reg.Set(val, ts, slot), nil
+		}, nil
+
+	default:
+		return nil, badRequestf("server: no mutations for CRDT type %q", req.CRDTType)
+	}
+}

@@ -1,0 +1,339 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crdtsmr/internal/cluster"
+	"crdtsmr/internal/core"
+	"crdtsmr/internal/crdt"
+	"crdtsmr/internal/wire"
+)
+
+// Options configure a Server.
+type Options struct {
+	// RequestTimeout bounds one request's protocol run. Default 10 s.
+	RequestTimeout time.Duration
+	// MaxInFlight caps concurrently executing requests per connection;
+	// further pipelined frames wait. Default 256.
+	MaxInFlight int
+	// WriteTimeout bounds one response write. A client that pipelines
+	// requests but stops reading would otherwise pin the connection's
+	// responder goroutines on a full TCP window forever. Default 30 s.
+	WriteTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 10 * time.Second
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 256
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 30 * time.Second
+	}
+	return o
+}
+
+// Server serves the client frame protocol (docs/PROTOCOL.md) on top of
+// one replica's cluster.Node.
+type Server struct {
+	node *cluster.Node
+	opts Options
+	ln   net.Listener
+
+	ctx    context.Context // canceled on Close; bounds request contexts
+	cancel context.CancelFunc
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+
+	quit   chan struct{}
+	closed sync.Once
+	wg     sync.WaitGroup
+
+	// seq feeds observed-remove add tags; seeded from the wall clock so
+	// tags stay unique across server restarts of the same replica ID.
+	seq atomic.Uint64
+
+	served atomic.Uint64 // requests answered, all statuses
+}
+
+// New returns a server for node. The node is owned by the caller and must
+// outlive the server.
+func New(node *cluster.Node, opts Options) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		node:   node,
+		opts:   opts.withDefaults(),
+		ctx:    ctx,
+		cancel: cancel,
+		conns:  make(map[net.Conn]struct{}),
+		quit:   make(chan struct{}),
+	}
+	s.seq.Store(uint64(time.Now().UnixNano()))
+	return s
+}
+
+// Start listens on addr (use "127.0.0.1:0" for an ephemeral port) and
+// serves in the background until Close.
+func Start(node *cluster.Node, addr string, opts Options) (*Server, error) {
+	s := New(node, opts)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.acceptLoop(ln)
+	}()
+	return s, nil
+}
+
+// Serve accepts client connections on ln until Close. It returns nil once
+// the server is closed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the listener address, or "" before Serve/Start.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Served returns the number of requests answered so far.
+func (s *Server) Served() uint64 { return s.served.Load() }
+
+// Close stops accepting, closes every client connection, and waits for
+// in-flight requests to unwind. The underlying node keeps running.
+func (s *Server) Close() error {
+	s.closed.Do(func() {
+		close(s.quit)
+		s.cancel()
+		s.mu.Lock()
+		if s.ln != nil {
+			_ = s.ln.Close()
+		}
+		for conn := range s.conns {
+			_ = conn.Close()
+		}
+		s.mu.Unlock()
+	})
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.quit:
+				return
+			default:
+				// Transient accept failure (e.g. fd exhaustion under
+				// connection load): back off instead of spinning the CPU
+				// the replica event loop needs.
+				time.Sleep(10 * time.Millisecond)
+				continue
+			}
+		}
+		// Register under the lock and re-check quit there, so a
+		// connection accepted concurrently with Close is either seen by
+		// Close's shutdown sweep or closed here — never leaked with a
+		// blocked reader (which would hang Close in wg.Wait).
+		s.mu.Lock()
+		select {
+		case <-s.quit:
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		default:
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// connWriter serializes response frames onto one connection. Responses
+// are written in completion order; the request ID correlates them. Every
+// write runs under a deadline so a non-reading client cannot pin the
+// connection's responders once its receive window fills.
+type connWriter struct {
+	mu      sync.Mutex
+	nc      net.Conn
+	bw      *bufio.Writer
+	timeout time.Duration
+}
+
+func (w *connWriter) send(resp *wire.Response) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.nc.SetWriteDeadline(time.Now().Add(w.timeout)); err != nil {
+		return err
+	}
+	if err := wire.WriteFrame(w.bw, resp.Encode()); err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}
+
+// serveConn reads request frames and dispatches each on its own goroutine
+// (bounded by MaxInFlight), which is what lets one connection pipeline.
+// An undecodable frame is a connection-level protocol error: with no
+// trustworthy request ID to correlate an answer, the server closes the
+// connection, like the replica transport does for corrupt framing.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	var reqs sync.WaitGroup
+	defer func() {
+		reqs.Wait()
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	br := bufio.NewReader(conn)
+	cw := &connWriter{nc: conn, bw: bufio.NewWriter(conn), timeout: s.opts.WriteTimeout}
+	sem := make(chan struct{}, s.opts.MaxInFlight)
+	for {
+		frame, err := wire.ReadFrame(br)
+		if err != nil {
+			return
+		}
+		req, err := wire.DecodeRequest(frame)
+		if err != nil {
+			return
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-s.quit:
+			return
+		}
+		reqs.Add(1)
+		go func() {
+			defer func() { <-sem; reqs.Done() }()
+			resp := s.handle(req)
+			s.served.Add(1)
+			if cw.send(resp) != nil {
+				// The client can no longer receive responses; closing the
+				// connection unblocks the frame-read loop so the server
+				// stops executing requests whose answers are undeliverable.
+				_ = conn.Close()
+			}
+		}()
+	}
+}
+
+// handle executes one request against the node and renders the response.
+func (s *Server) handle(req *wire.Request) *wire.Response {
+	resp := &wire.Response{Op: req.Op | wire.RespBit, ID: req.ID}
+	ctx, cancel := context.WithTimeout(s.ctx, s.opts.RequestTimeout)
+	defer cancel()
+
+	switch req.Op {
+	case wire.OpUpdate:
+		fu, err := s.updateFor(req)
+		if err != nil {
+			return fail(resp, err)
+		}
+		stats, err := s.node.UpdateKey(ctx, req.Key, fu)
+		if err != nil {
+			return fail(resp, err)
+		}
+		resp.Status = wire.StatusOK
+		resp.RoundTrips = uint64(stats.RoundTrips)
+
+	case wire.OpQuery:
+		st, stats, err := s.node.QueryKey(ctx, req.Key)
+		if err != nil {
+			return fail(resp, err)
+		}
+		enc, err := crdt.Marshal(st)
+		if err != nil {
+			return fail(resp, err)
+		}
+		if len(enc)+64 > wire.MaxFrame {
+			// Answer terminally instead of letting the oversized response
+			// frame silently drop the connection: the key stays diagnosable
+			// even when its state outgrows the frame limit.
+			return fail(resp, fmt.Errorf("server: state of %q (%d bytes) exceeds the %d-byte frame limit", req.Key, len(enc), wire.MaxFrame))
+		}
+		resp.Status = wire.StatusOK
+		resp.RoundTrips = uint64(stats.RoundTrips)
+		resp.Attempts = uint64(stats.Attempts)
+		resp.Path = byte(stats.Path)
+		resp.State = enc
+
+	case wire.OpAdmin:
+		return s.handleAdmin(req, resp)
+	}
+	return resp
+}
+
+func (s *Server) handleAdmin(req *wire.Request, resp *wire.Response) *wire.Response {
+	switch req.Cmd {
+	case "ping":
+		resp.Status = wire.StatusOK
+		resp.Payload = []byte("pong")
+	case "keys":
+		keys := s.node.Keys()
+		w := wire.NewWriter(16 * (len(keys) + 1))
+		w.Uvarint(uint64(len(keys)))
+		for _, k := range keys {
+			w.Str(k)
+		}
+		resp.Status = wire.StatusOK
+		resp.Payload = w.Bytes()
+	default:
+		return fail(resp, badRequestf("server: unknown admin command %q", req.Cmd))
+	}
+	return resp
+}
+
+// fail classifies err into a response status. The classification is what
+// the client's retry policy keys on, so it errs toward StatusUncertain:
+// only errors that provably precede the protocol run map to
+// StatusUnavailable.
+func fail(resp *wire.Response, err error) *wire.Response {
+	var bad errBadRequest
+	switch {
+	case errors.Is(err, cluster.ErrUnavailable):
+		resp.Status = wire.StatusUnavailable
+	case errors.Is(err, cluster.ErrStopped),
+		errors.Is(err, core.ErrAborted),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		// ErrStopped is uncertain, not unavailable: a node closing mid-
+		// command can return it after the update was already durable on a
+		// quorum, so a blind retry could apply the update twice.
+		resp.Status = wire.StatusUncertain
+	case errors.As(err, &bad):
+		resp.Status = wire.StatusBadRequest
+	default:
+		resp.Status = wire.StatusError
+	}
+	resp.Msg = err.Error()
+	return resp
+}

@@ -1,0 +1,252 @@
+package server_test
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"crdtsmr/internal/client"
+	"crdtsmr/internal/cluster"
+	"crdtsmr/internal/core"
+	"crdtsmr/internal/crdt"
+	"crdtsmr/internal/server"
+	"crdtsmr/internal/transport"
+	"crdtsmr/internal/wire"
+)
+
+// startCluster runs n replicas over an in-process mesh, each fronted by a
+// network server on an ephemeral loopback port.
+func startCluster(t *testing.T, n int) (addrs []string, cl *cluster.Cluster, stop func()) {
+	t.Helper()
+	mesh := transport.NewMesh(transport.WithSeed(1))
+	ids := make([]transport.NodeID, n)
+	for i := range ids {
+		ids[i] = transport.NodeID(fmt.Sprintf("n%d", i+1))
+	}
+	cl, err := cluster.New(mesh, cluster.Config{
+		Members:            ids,
+		Initial:            crdt.NewGCounter(),
+		InitialForKey:      server.TypedKeyInitial(crdt.TypeGCounter),
+		Options:            core.DefaultOptions(),
+		RetransmitInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		mesh.Close()
+		t.Fatal(err)
+	}
+	var servers []*server.Server
+	for _, id := range ids {
+		srv, err := server.Start(cl.Node(id), "127.0.0.1:0", server.Options{RequestTimeout: 5 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers = append(servers, srv)
+		addrs = append(addrs, srv.Addr())
+	}
+	return addrs, cl, func() {
+		for _, srv := range servers {
+			_ = srv.Close()
+		}
+		cl.Close()
+		mesh.Close()
+	}
+}
+
+func newClient(t *testing.T, addrs ...string) *client.Client {
+	t.Helper()
+	c, err := client.New(client.Config{Addrs: addrs, RequestTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+// TestServeTypedHandles drives every typed handle through the network
+// path: counters, PN-counters, OR-sets, and LWW-registers, across
+// different servers of the same cluster.
+func TestServeTypedHandles(t *testing.T) {
+	addrs, _, stop := startCluster(t, 3)
+	defer stop()
+	ctx := context.Background()
+
+	c1 := newClient(t, addrs[0])
+	c2 := newClient(t, addrs[1])
+
+	ctr := c1.Counter("views")
+	if err := ctr.Inc(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Counter("views").Inc(ctx, 4); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := c2.Counter("views").Value(ctx); err != nil || v != 7 {
+		t.Fatalf("counter = %d, %v; want 7", v, err)
+	}
+
+	pn := c1.PNCounter("pn-counter/stock")
+	if err := pn.Inc(ctx, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := pn.Dec(ctx, 4); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := c2.PNCounter("pn-counter/stock").Value(ctx); err != nil || v != 6 {
+		t.Fatalf("pn-counter = %d, %v; want 6", v, err)
+	}
+
+	set := c1.Set("or-set/sessions")
+	if err := set.Add(ctx, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Add(ctx, "bob"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Set("or-set/sessions").Remove(ctx, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	elems, err := c2.Set("or-set/sessions").Elements(ctx)
+	if err != nil || len(elems) != 1 || elems[0] != "bob" {
+		t.Fatalf("set = %v, %v; want [bob]", elems, err)
+	}
+
+	reg := c1.Register("lww-register/config")
+	if _, ok, err := reg.Load(ctx); err != nil || ok {
+		t.Fatalf("unwritten register: ok=%v err=%v", ok, err)
+	}
+	if err := reg.Store(ctx, "v2"); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := c2.Register("lww-register/config").Load(ctx); err != nil || !ok || v != "v2" {
+		t.Fatalf("register = %q ok=%v err=%v; want v2", v, ok, err)
+	}
+
+	if err := c1.Ping(ctx); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := c1.Keys(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"views": true, "pn-counter/stock": true, "or-set/sessions": true, "lww-register/config": true}
+	found := 0
+	for _, k := range keys {
+		if want[k] {
+			found++
+		}
+	}
+	if found != len(want) {
+		t.Fatalf("keys %v missing some of %v", keys, want)
+	}
+}
+
+// TestServePipelining issues many concurrent requests through a single
+// pooled connection and checks they all complete and sum correctly.
+func TestServePipelining(t *testing.T) {
+	addrs, _, stop := startCluster(t, 3)
+	defer stop()
+	c, err := client.New(client.Config{Addrs: addrs[:1], ConnsPerAddr: 1, RequestTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const workers = 32
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := c.Counter("hits").Inc(ctx, 1); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if v, err := c.Counter("hits").Value(ctx); err != nil || v != workers {
+		t.Fatalf("counter = %d, %v; want %d", v, err, workers)
+	}
+}
+
+// TestServeRejects covers the terminal error paths: unknown mutations and
+// type mismatches must come back as errors, not retries or hangs.
+func TestServeRejects(t *testing.T) {
+	addrs, _, stop := startCluster(t, 3)
+	defer stop()
+	c := newClient(t, addrs...)
+	ctx := context.Background()
+
+	// Unknown admin command.
+	if _, err := c.Keys(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Type mismatch: the default key holds a G-Counter; set ops on it
+	// must fail terminally.
+	if err := c.Set("plain-key").Add(ctx, "x"); err == nil {
+		t.Fatal("set mutation on a counter key succeeded")
+	}
+
+	// Reading a counter key through a register handle fails client-side.
+	if err := c.Counter("ctr").Inc(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Register("ctr").Load(ctx); err == nil {
+		t.Fatal("register load of a counter key succeeded")
+	}
+}
+
+// TestServeClosesOnGarbage sends an undecodable frame and expects the
+// server to drop the connection rather than answer or crash.
+func TestServeClosesOnGarbage(t *testing.T) {
+	addrs, _, stop := startCluster(t, 1)
+	defer stop()
+	nc, err := net.Dial("tcp", addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if err := wire.WriteFrame(nc, []byte{0xff, 0xfe, 0xfd}); err != nil {
+		t.Fatal(err)
+	}
+	_ = nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := wire.ReadFrame(bufio.NewReader(nc)); err == nil {
+		t.Fatal("server answered a garbage frame")
+	}
+}
+
+// TestServeUnavailable checks the NACK path: a crashed replica's server
+// answers StatusUnavailable, and a single-address client surfaces it.
+func TestServeUnavailable(t *testing.T) {
+	addrs, cl, stop := startCluster(t, 3)
+	defer stop()
+	cl.Crash("n1")
+
+	c, err := client.New(client.Config{
+		Addrs:          addrs[:1],
+		MaxAttempts:    2,
+		RequestTimeout: 2 * time.Second,
+		RetryBackoff:   time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Counter("k").Inc(context.Background(), 1)
+	if err == nil {
+		t.Fatal("update on a crashed replica succeeded")
+	}
+	if !client.IsUnavailable(err) {
+		t.Fatalf("error %v is not IsUnavailable", err)
+	}
+}

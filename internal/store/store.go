@@ -1,18 +1,3 @@
-// Package store implements a sharded multi-object CRDT store: a keyspace
-// in which every key is replicated by its own independent, lightweight SMR
-// instance of the paper's protocol.
-//
-// Skrzypczak, Schintke & Schütt (PODC 2019) replicate a single CRDT
-// payload. Because the protocol keeps no cross-command log — per-replica
-// protocol state is the payload plus one round counter — replication
-// instances compose per key with no shared ordering machinery: unlike
-// Multi-Paxos or Raft, nothing about key A's commands constrains key B's.
-// The store exploits that: each key is its own replica group state
-// (core.Replica), all keys on a node share one event loop and one
-// transport connection (cluster.Node routes messages by the object-ID
-// envelope), and per-key instances are instantiated lazily on first touch.
-// Linearizability holds per key, which is exactly the guarantee a sharded
-// keyspace offers.
 package store
 
 import (

@@ -1,20 +1,3 @@
-// Package transport provides the message-passing substrates the replication
-// protocols run on, matching the paper's system model (§2.1): asynchronous
-// processes exchanging unreliable messages that may be delayed, reordered,
-// or lost.
-//
-// Three implementations share one interface:
-//
-//   - Mesh: an in-process asynchronous network of goroutine endpoints with
-//     seeded, configurable delay, loss, duplication, link blocking, and node
-//     crash, used by the benchmark harness and integration tests.
-//   - Fabric: a single-threaded deterministic network whose message
-//     delivery order is driven by a seeded scheduler, used by the
-//     protocol-interleaving checker (the paper tested correctness with "a
-//     protocol scheduler that enforces random interleavings of incoming
-//     messages", §4).
-//   - TCP: a length-prefixed framing transport over net.Conn for
-//     multi-process deployments.
 package transport
 
 import "errors"

@@ -1,0 +1,289 @@
+package wire
+
+// The client frame format is the second wire layer of the repository: the
+// request/response protocol spoken between internal/client and
+// internal/server, layered over length-prefixed TCP framing like the
+// replica transport but with its own header so the two can evolve
+// independently. docs/PROTOCOL.md is the normative byte-level spec;
+// this file is its reference implementation.
+//
+// Every frame starts [version u8][op u8][request id uvarint]. Responses
+// echo the request's op with RespBit set and its request ID, so clients
+// can pipeline many requests over one connection and match replies out of
+// order. Trailing bytes after a known body are ignored (forward
+// compatibility: future versions may append fields); every other decoding
+// irregularity is an error — decoders never panic on malformed input.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// FrameVersion is the client protocol version this build speaks. A peer
+// receiving a frame of a different version drops the connection — the
+// rest of the header cannot be trusted (docs/PROTOCOL.md §2.7).
+const FrameVersion = 1
+
+// MaxFrame bounds one client frame (header + body) in bytes, protecting
+// both sides against corrupt or hostile length prefixes.
+const MaxFrame = 4 << 20
+
+// MaxArgs bounds the operand count of an update request; encoders must
+// enforce it (the decoder rejects it, and the server answers an
+// undecodable frame by dropping the connection).
+const MaxArgs = 64
+
+// Client frame ops. A response's op is the request's op with RespBit set.
+const (
+	// OpUpdate applies a named mutation to one object (at-least-once on
+	// client retry; see docs/PROTOCOL.md §Retries).
+	OpUpdate byte = 0x01
+	// OpQuery learns a linearizable state of one object.
+	OpQuery byte = 0x02
+	// OpAdmin carries a cluster-management command ("ping", "keys").
+	OpAdmin byte = 0x03
+	// RespBit marks response frames.
+	RespBit byte = 0x80
+)
+
+// Mutation names accepted in update requests, per CRDT type (the server's
+// ops table is the authority; docs/PROTOCOL.md lists operands):
+//
+//	g-counter:    inc(n)
+//	pn-counter:   inc(n), dec(n)
+//	or-set:       add(element), remove(element)
+//	lww-register: set(value)
+const (
+	MutInc    = "inc"
+	MutDec    = "dec"
+	MutAdd    = "add"
+	MutRemove = "remove"
+	MutSet    = "set"
+)
+
+// Response status codes.
+const (
+	// StatusOK: the operation completed.
+	StatusOK byte = 0
+	// StatusUnavailable: the replica refused the operation before running
+	// the protocol (crashed or shutting down). The operation was NOT
+	// applied; retrying it on another replica is always safe.
+	StatusUnavailable byte = 1
+	// StatusUncertain: the operation was accepted but its fate is unknown
+	// (e.g. it timed out mid-protocol). An update may or may not have been
+	// applied; only queries are safe to retry automatically.
+	StatusUncertain byte = 2
+	// StatusBadRequest: the frame was malformed, of an unknown version, or
+	// named an unknown op/mutation. Retrying the same frame cannot succeed.
+	StatusBadRequest byte = 3
+	// StatusError: the operation ran and failed terminally (e.g. mutation
+	// applied to an object of a different CRDT type).
+	StatusError byte = 4
+)
+
+// ErrFrameTooLarge is returned for frames exceeding MaxFrame.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+
+// ErrVersion is returned for frames of an unknown protocol version.
+var ErrVersion = errors.New("wire: unsupported frame version")
+
+// Request is one decoded client request frame.
+type Request struct {
+	Op  byte
+	ID  uint64
+	Key string // object key (update, query)
+
+	// Update fields: the registered CRDT type the client believes the
+	// object holds, the mutation name, and its operands.
+	CRDTType string
+	Mutation string
+	Args     [][]byte
+
+	// Admin field.
+	Cmd string
+}
+
+// Encode renders the request as a frame body (without the outer length
+// prefix; see WriteFrame).
+func (r *Request) Encode() []byte {
+	w := NewWriter(64)
+	w.Byte(FrameVersion)
+	w.Byte(r.Op)
+	w.Uvarint(r.ID)
+	switch r.Op {
+	case OpUpdate:
+		w.Str(r.Key)
+		w.Str(r.CRDTType)
+		w.Str(r.Mutation)
+		w.Uvarint(uint64(len(r.Args)))
+		for _, a := range r.Args {
+			w.Raw(a)
+		}
+	case OpQuery:
+		w.Str(r.Key)
+	case OpAdmin:
+		w.Str(r.Cmd)
+	}
+	return w.Bytes()
+}
+
+// DecodeRequest parses a request frame body. It returns an error — never
+// panics — on truncated, oversized, or otherwise malformed input.
+func DecodeRequest(frame []byte) (*Request, error) {
+	if len(frame) > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	r := NewReader(frame)
+	if v := r.Byte(); r.Err() == nil && v != FrameVersion {
+		return nil, fmt.Errorf("%w: %d", ErrVersion, v)
+	}
+	req := &Request{Op: r.Byte(), ID: r.Uvarint()}
+	switch req.Op {
+	case OpUpdate:
+		req.Key = r.Str()
+		req.CRDTType = r.Str()
+		req.Mutation = r.Str()
+		n := r.Uvarint()
+		if r.Err() == nil && n > MaxArgs {
+			return nil, fmt.Errorf("wire: %d update args exceeds limit %d", n, MaxArgs)
+		}
+		for i := uint64(0); i < n && r.Err() == nil; i++ {
+			req.Args = append(req.Args, r.Raw())
+		}
+	case OpQuery:
+		req.Key = r.Str()
+	case OpAdmin:
+		req.Cmd = r.Str()
+	default:
+		if r.Err() == nil {
+			return nil, fmt.Errorf("wire: unknown request op 0x%02x", req.Op)
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	// Trailing bytes are tolerated: future minor revisions may append
+	// fields to a body without breaking older decoders.
+	return req, nil
+}
+
+// Response is one decoded client response frame.
+type Response struct {
+	Op     byte // request op with RespBit set
+	ID     uint64
+	Status byte
+
+	// StatusOK bodies.
+	RoundTrips uint64
+	Attempts   uint64 // query only
+	Path       byte   // query only: core.LearnPath
+	State      []byte // query only: crdt.Marshal encoding
+	Payload    []byte // admin only
+
+	// Non-OK bodies.
+	Msg string
+}
+
+// Encode renders the response as a frame body.
+func (r *Response) Encode() []byte {
+	w := NewWriter(32 + len(r.State) + len(r.Payload))
+	w.Byte(FrameVersion)
+	w.Byte(r.Op)
+	w.Uvarint(r.ID)
+	w.Byte(r.Status)
+	if r.Status != StatusOK {
+		w.Str(r.Msg)
+		return w.Bytes()
+	}
+	switch r.Op &^ RespBit {
+	case OpUpdate:
+		w.Uvarint(r.RoundTrips)
+	case OpQuery:
+		w.Uvarint(r.RoundTrips)
+		w.Uvarint(r.Attempts)
+		w.Byte(r.Path)
+		w.Raw(r.State)
+	case OpAdmin:
+		w.Raw(r.Payload)
+	}
+	return w.Bytes()
+}
+
+// DecodeResponse parses a response frame body. Like DecodeRequest it
+// errors, never panics, on malformed input.
+func DecodeResponse(frame []byte) (*Response, error) {
+	if len(frame) > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	r := NewReader(frame)
+	if v := r.Byte(); r.Err() == nil && v != FrameVersion {
+		return nil, fmt.Errorf("%w: %d", ErrVersion, v)
+	}
+	resp := &Response{Op: r.Byte(), ID: r.Uvarint(), Status: r.Byte()}
+	if r.Err() == nil && resp.Op&RespBit == 0 {
+		return nil, fmt.Errorf("wire: response op 0x%02x lacks response bit", resp.Op)
+	}
+	switch resp.Op &^ RespBit {
+	case OpUpdate, OpQuery, OpAdmin:
+	default:
+		if r.Err() == nil {
+			return nil, fmt.Errorf("wire: unknown response op 0x%02x", resp.Op)
+		}
+	}
+	if resp.Status != StatusOK {
+		resp.Msg = r.Str()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		return resp, nil
+	}
+	switch resp.Op &^ RespBit {
+	case OpUpdate:
+		resp.RoundTrips = r.Uvarint()
+	case OpQuery:
+		resp.RoundTrips = r.Uvarint()
+		resp.Attempts = r.Uvarint()
+		resp.Path = r.Byte()
+		resp.State = r.Raw()
+	case OpAdmin:
+		resp.Payload = r.Raw()
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// WriteFrame writes one length-prefixed frame: [uvarint len][frame].
+func WriteFrame(w io.Writer, frame []byte) error {
+	if len(frame) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(frame)))
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	_, err := w.Write(frame)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame, enforcing MaxFrame before
+// allocating.
+func ReadFrame(br *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(br, frame); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}

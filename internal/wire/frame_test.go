@@ -1,0 +1,194 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	cases := []Request{
+		{Op: OpUpdate, ID: 7, Key: "article/42", CRDTType: "g-counter", Mutation: "inc", Args: [][]byte{{5}}},
+		{Op: OpUpdate, ID: 0, Key: "", CRDTType: "or-set", Mutation: "add", Args: [][]byte{[]byte("alice"), nil}},
+		{Op: OpQuery, ID: 1 << 40, Key: "sessions/eu"},
+		{Op: OpAdmin, ID: 3, Cmd: "ping"},
+	}
+	for _, in := range cases {
+		got, err := DecodeRequest(in.Encode())
+		if err != nil {
+			t.Fatalf("decode %+v: %v", in, err)
+		}
+		// Raw() returns nil for empty args; normalize for comparison.
+		for i, a := range in.Args {
+			if len(a) == 0 {
+				in.Args[i] = []byte{}
+			}
+		}
+		for i, a := range got.Args {
+			if len(a) == 0 {
+				got.Args[i] = []byte{}
+			}
+		}
+		if !reflect.DeepEqual(&in, got) {
+			t.Fatalf("round trip mismatch:\n in  %+v\n out %+v", in, *got)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	cases := []Response{
+		{Op: OpUpdate | RespBit, ID: 7, Status: StatusOK, RoundTrips: 1},
+		{Op: OpQuery | RespBit, ID: 9, Status: StatusOK, RoundTrips: 2, Attempts: 1, Path: 1, State: []byte{1, 2, 3}},
+		{Op: OpAdmin | RespBit, ID: 1, Status: StatusOK, Payload: []byte("pong")},
+		{Op: OpUpdate | RespBit, ID: 4, Status: StatusUnavailable, Msg: "node crashed"},
+		{Op: OpQuery | RespBit, ID: 5, Status: StatusError, Msg: "type mismatch"},
+	}
+	for _, in := range cases {
+		got, err := DecodeResponse(in.Encode())
+		if err != nil {
+			t.Fatalf("decode %+v: %v", in, err)
+		}
+		if len(got.State) == 0 {
+			got.State = in.State[:0]
+		}
+		if len(got.Payload) == 0 {
+			got.Payload = in.Payload[:0]
+		}
+		if got.Op != in.Op || got.ID != in.ID || got.Status != in.Status ||
+			got.RoundTrips != in.RoundTrips || got.Attempts != in.Attempts ||
+			got.Path != in.Path || got.Msg != in.Msg ||
+			!bytes.Equal(got.State, in.State) || !bytes.Equal(got.Payload, in.Payload) {
+			t.Fatalf("round trip mismatch:\n in  %+v\n out %+v", in, *got)
+		}
+	}
+}
+
+func TestDecodeRequestRejects(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":         {},
+		"bad version":   {99, OpQuery, 1, 0},
+		"unknown op":    {FrameVersion, 0x7f, 1},
+		"response op":   {FrameVersion, OpQuery | RespBit, 1, 0},
+		"truncated key": {FrameVersion, OpQuery, 1, 200},
+		"truncated varint": append([]byte{FrameVersion, OpUpdate, 1},
+			0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff),
+	}
+	for name, frame := range cases {
+		if _, err := DecodeRequest(frame); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	// Oversized arg count.
+	w := NewWriter(16)
+	w.Byte(FrameVersion)
+	w.Byte(OpUpdate)
+	w.Uvarint(1)
+	w.Str("k")
+	w.Str("g-counter")
+	w.Str("inc")
+	w.Uvarint(MaxArgs + 1)
+	if _, err := DecodeRequest(w.Bytes()); err == nil {
+		t.Error("oversized arg count decoded without error")
+	}
+	// Oversized frame.
+	if _, err := DecodeRequest(make([]byte, MaxFrame+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized frame: got %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestDecodeRequestToleratesTrailingBytes(t *testing.T) {
+	frame := (&Request{Op: OpQuery, ID: 2, Key: "k"}).Encode()
+	frame = append(frame, 0xde, 0xad)
+	req, err := DecodeRequest(frame)
+	if err != nil {
+		t.Fatalf("trailing bytes rejected: %v", err)
+	}
+	if req.Key != "k" || req.ID != 2 {
+		t.Fatalf("decoded %+v", req)
+	}
+}
+
+func TestDecodeResponseRejects(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":             {},
+		"bad version":       {42, OpQuery | RespBit, 1, StatusOK},
+		"missing bit":       {FrameVersion, OpQuery, 1, StatusOK},
+		"unknown op":        {FrameVersion, 0x7f | RespBit, 1, StatusOK},
+		"unknown op non-ok": {FrameVersion, 0x7f | RespBit, 1, StatusUnavailable, 0},
+		"truncated ok":      {FrameVersion, OpQuery | RespBit, 1, StatusOK, 1},
+	}
+	for name, frame := range cases {
+		if _, err := DecodeResponse(frame); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestFrameIO(t *testing.T) {
+	var buf bytes.Buffer
+	frames := [][]byte{{1}, bytes.Repeat([]byte{7}, 1000), {}}
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	br := bufio.NewReader(&buf)
+	for i, want := range frames {
+		got, err := ReadFrame(br)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: got %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+	// A length prefix over the limit must be rejected before allocation.
+	var huge bytes.Buffer
+	w := NewWriter(16)
+	w.Uvarint(MaxFrame + 1)
+	huge.Write(w.Bytes())
+	if _, err := ReadFrame(bufio.NewReader(&huge)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized prefix: got %v, want ErrFrameTooLarge", err)
+	}
+	if err := WriteFrame(&huge, make([]byte, MaxFrame+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized write: got %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// FuzzDecodeRequest asserts the request decoder never panics and that
+// every frame it accepts re-encodes decodably (malformed, truncated, and
+// oversized inputs must error out instead).
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add((&Request{Op: OpUpdate, ID: 1, Key: "k", CRDTType: "g-counter", Mutation: "inc", Args: [][]byte{{1}}}).Encode())
+	f.Add((&Request{Op: OpQuery, ID: 2, Key: "obj/1"}).Encode())
+	f.Add((&Request{Op: OpAdmin, ID: 3, Cmd: "keys"}).Encode())
+	f.Add([]byte{FrameVersion, OpUpdate})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		req, err := DecodeRequest(frame)
+		if err != nil {
+			return
+		}
+		if _, err := DecodeRequest(req.Encode()); err != nil {
+			t.Fatalf("accepted frame re-encodes undecodably: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeResponse is the response-side twin of FuzzDecodeRequest.
+func FuzzDecodeResponse(f *testing.F) {
+	f.Add((&Response{Op: OpQuery | RespBit, ID: 1, Status: StatusOK, State: []byte{1}}).Encode())
+	f.Add((&Response{Op: OpUpdate | RespBit, ID: 2, Status: StatusUnavailable, Msg: "x"}).Encode())
+	f.Add([]byte{FrameVersion})
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		resp, err := DecodeResponse(frame)
+		if err != nil {
+			return
+		}
+		if _, err := DecodeResponse(resp.Encode()); err != nil {
+			t.Fatalf("accepted frame re-encodes undecodably: %v", err)
+		}
+	})
+}

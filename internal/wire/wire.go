@@ -1,11 +1,3 @@
-// Package wire provides the low-level deterministic binary codec shared by
-// every protocol message format in this repository (CRDT Paxos, Raft,
-// Multi-Paxos, GLA) and by the TCP framing layer. It is a thin layer over
-// encoding/binary varints with length-prefixed strings and byte slices.
-//
-// Writers never fail; Readers accumulate the first error and report it from
-// Err, so decoders can be written as straight-line field reads followed by a
-// single error check.
 package wire
 
 import (
