@@ -13,100 +13,30 @@ import (
 	"crdtsmr/internal/wire"
 )
 
-// Config configures a Client.
-type Config struct {
-	// Addrs lists the client-facing addresses of the cluster's servers.
-	// Operations start at a round-robin-chosen address and fail over to
-	// the others per the retry policy.
-	Addrs []string
-	// DialTimeout bounds one connection attempt. Default 2 s.
-	DialTimeout time.Duration
-	// RequestTimeout is the per-operation deadline applied when the
-	// caller's context has none. Default 10 s.
-	RequestTimeout time.Duration
-	// MaxAttempts caps tries per operation (first attempt included)
-	// across addresses. Default len(Addrs) + 1.
-	MaxAttempts int
-	// RetryBackoff is slept between attempts. Default 5 ms.
-	RetryBackoff time.Duration
-	// ConnsPerAddr is the connection pool size per address. Requests
-	// pipeline, so a small pool serves many concurrent callers.
-	// Default 2.
-	ConnsPerAddr int
-}
-
-func (c Config) withDefaults() Config {
-	if c.DialTimeout <= 0 {
-		c.DialTimeout = 2 * time.Second
-	}
-	if c.RequestTimeout <= 0 {
-		c.RequestTimeout = 10 * time.Second
-	}
-	if c.MaxAttempts <= 0 {
-		c.MaxAttempts = len(c.Addrs) + 1
-	}
-	if c.RetryBackoff <= 0 {
-		c.RetryBackoff = 5 * time.Millisecond
-	}
-	if c.ConnsPerAddr <= 0 {
-		c.ConnsPerAddr = 2
-	}
-	return c
-}
-
-// ServerError is a non-OK response from a server, carrying the wire
-// status (wire.Status*) and the server's message.
-type ServerError struct {
-	Status byte
-	Msg    string
-}
-
-func (e *ServerError) Error() string {
-	status := map[byte]string{
-		wire.StatusUnavailable: "unavailable",
-		wire.StatusUncertain:   "uncertain",
-		wire.StatusBadRequest:  "bad request",
-		wire.StatusError:       "error",
-	}[e.Status]
-	if status == "" {
-		status = fmt.Sprintf("status %d", e.Status)
-	}
-	return fmt.Sprintf("client: server %s: %s", status, e.Msg)
-}
-
-// IsUnavailable reports whether err means the operation was refused
-// before the protocol ran (provably not applied).
-func IsUnavailable(err error) bool {
-	var se *ServerError
-	return errors.As(err, &se) && se.Status == wire.StatusUnavailable
-}
-
-// IsUncertain reports whether err leaves the operation's fate unknown:
-// it may or may not have been applied (server-side timeout or abort, or a
-// connection that died with an update in flight).
-func IsUncertain(err error) bool {
-	if errors.Is(err, errConnFailed) {
-		return true
-	}
-	var se *ServerError
-	return errors.As(err, &se) && se.Status == wire.StatusUncertain
-}
-
-// ErrClosed is returned by operations on a closed client.
-var ErrClosed = errors.New("client: closed")
-
-// errConnFailed wraps connection-level failures after a request was
-// written — the response is gone but the request may have been executed.
-var errConnFailed = errors.New("client: connection failed")
+// errConnFailed wraps connection-level failures after an update's
+// request was written — the response is gone but the update may have
+// been executed, which is exactly the ErrUncertain contract. Read-only
+// operations take the ErrUnavailable class on the same failure instead:
+// they have no effects, so "not served" is provable (the same split the
+// server applies to its own fate-class failures).
+var errConnFailed = fmt.Errorf("%w: connection failed", ErrUncertain)
 
 // errNotSent wraps failures that provably precede the write (the pooled
-// connection was already dead), so any operation may retry elsewhere.
-var errNotSent = errors.New("client: request not sent")
+// connection was already dead), so any operation may retry elsewhere —
+// which is the ErrUnavailable contract, like a dial failure.
+var errNotSent = fmt.Errorf("%w: request not sent", ErrUnavailable)
+
+// errInFlight marks a context expiry that struck after the request frame
+// was written: the response will never be read, so an update's fate is
+// unknown and do() must add the ErrUncertain classification on top of
+// the timeout/cancellation one.
+var errInFlight = errors.New("client: context done with request in flight")
 
 // Client is a pooled, pipelining client for one cluster. It is safe for
-// concurrent use; typed handles share the client's pool.
+// concurrent use; typed handles share the client's pool. Create one with
+// New and release it with Close.
 type Client struct {
-	cfg   Config
+	cfg   config
 	pools []*pool
 	next  atomic.Uint64 // round-robin address cursor
 
@@ -114,15 +44,20 @@ type Client struct {
 	closed bool
 }
 
-// New returns a client for the given cluster addresses. Connections are
-// dialed lazily on first use.
-func New(cfg Config) (*Client, error) {
-	cfg = cfg.withDefaults()
-	if len(cfg.Addrs) == 0 {
+// New returns a client for the given cluster addresses (the replicas'
+// client-facing ports). Connections are dialed lazily on first use;
+// operations start at a round-robin-chosen address and fail over to the
+// others per the retry policy.
+func New(addrs []string, opts ...Option) (*Client, error) {
+	if len(addrs) == 0 {
 		return nil, errors.New("client: no server addresses")
 	}
+	cfg := defaultConfig(addrs)
+	for _, o := range opts {
+		o(&cfg)
+	}
 	c := &Client{cfg: cfg}
-	for _, addr := range cfg.Addrs {
+	for _, addr := range addrs {
 		c.pools = append(c.pools, newPool(addr, cfg))
 	}
 	return c, nil
@@ -144,6 +79,20 @@ func (c *Client) Close() error {
 	return nil
 }
 
+// ctxErr classifies a context failure: deadline expiry additionally
+// matches ErrTimeout, so callers can distinguish "took too long" from
+// their own cancellation without inspecting the context themselves.
+func ctxErr(ctx context.Context, lastErr error) error {
+	err := ctx.Err()
+	if errors.Is(err, context.DeadlineExceeded) {
+		err = fmt.Errorf("%w: %w", ErrTimeout, err)
+	}
+	if lastErr != nil {
+		return fmt.Errorf("%w (last attempt: %v)", err, lastErr)
+	}
+	return err
+}
+
 // do runs one request with retries. retryInFlight permits retrying after
 // failures that leave the operation's fate unknown (safe for reads and
 // admin commands, not for updates).
@@ -155,9 +104,9 @@ func (c *Client) do(ctx context.Context, req *wire.Request, retryInFlight bool) 
 	}
 	c.mu.Unlock()
 
-	if _, ok := ctx.Deadline(); !ok {
+	if _, ok := ctx.Deadline(); !ok && c.cfg.requestTimeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, c.cfg.RequestTimeout)
+		ctx, cancel = context.WithTimeout(ctx, c.cfg.requestTimeout)
 		defer cancel()
 	}
 
@@ -165,17 +114,25 @@ func (c *Client) do(ctx context.Context, req *wire.Request, retryInFlight bool) 
 	// the int conversion can never go negative (32-bit platforms).
 	start := int(c.next.Add(1) % uint64(len(c.pools)))
 	var lastErr error
-	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+	for attempt := 0; attempt < c.cfg.retry.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			select {
-			case <-time.After(c.cfg.RetryBackoff):
+			case <-time.After(c.cfg.retry.Backoff):
 			case <-ctx.Done():
-				return nil, fmt.Errorf("%w (last attempt: %v)", ctx.Err(), lastErr)
+				return nil, ctxErr(ctx, lastErr)
 			}
 		}
 		p := c.pools[(start+attempt)%len(c.pools)]
 		cn, err := p.get(ctx)
 		if err != nil {
+			if errors.Is(err, ErrClosed) {
+				// Racing Client.Close: every further attempt is doomed, so
+				// fail now instead of burning the retry budget on backoff.
+				return nil, err
+			}
+			if ctx.Err() != nil {
+				return nil, ctxErr(ctx, err)
+			}
 			// Nothing was sent; always safe to try the next address.
 			lastErr = err
 			continue
@@ -183,7 +140,19 @@ func (c *Client) do(ctx context.Context, req *wire.Request, retryInFlight bool) 
 		resp, err := cn.roundtrip(ctx, req)
 		if err != nil {
 			if ctx.Err() != nil {
-				return nil, fmt.Errorf("%w (last attempt: %v)", ctx.Err(), err)
+				cerr := ctxErr(ctx, err)
+				// Was the frame already on the wire when the context fired?
+				// errInFlight marks the common case; a connection failure
+				// that is neither pre-write (errNotSent) nor a local size
+				// rejection also happened post-write. Either way an update
+				// may still be applied, so the caller must additionally
+				// learn the fate is unknown.
+				inFlight := errors.Is(err, errInFlight) ||
+					(!errors.Is(err, errNotSent) && !errors.Is(err, wire.ErrFrameTooLarge))
+				if !retryInFlight && inFlight {
+					cerr = fmt.Errorf("%w: %w", ErrUncertain, cerr)
+				}
+				return nil, cerr
 			}
 			if errors.Is(err, wire.ErrFrameTooLarge) {
 				// Terminal everywhere: every replica enforces the same limit.
@@ -195,20 +164,25 @@ func (c *Client) do(ctx context.Context, req *wire.Request, retryInFlight bool) 
 				lastErr = err
 				continue
 			}
-			lastErr = fmt.Errorf("%w: %v", errConnFailed, err)
 			if !retryInFlight {
-				return nil, lastErr
+				return nil, fmt.Errorf("%w: %v", errConnFailed, err)
 			}
+			// A read-only operation on a died connection was simply not
+			// served — effect-free, so provably not applied.
+			lastErr = fmt.Errorf("%w: connection failed: %v", ErrUnavailable, err)
 			continue
 		}
-		if resp.Status == wire.StatusOK {
+		if resp.Status == byte(StatusOK) {
 			return resp, nil
 		}
-		lastErr = &ServerError{Status: resp.Status, Msg: resp.Msg}
+		// retryInFlight doubles as "read-only": for those, a
+		// StatusUncertain answer takes the ErrUnavailable class (see
+		// StatusError.Is) — a read has no fate to be uncertain about.
+		lastErr = &StatusError{Status: Status(resp.Status), Msg: resp.Msg, readOnly: retryInFlight}
 		switch resp.Status {
-		case wire.StatusUnavailable:
+		case byte(StatusUnavailable):
 			continue // provably not applied: retry anywhere
-		case wire.StatusUncertain:
+		case byte(StatusUncertain):
 			if retryInFlight {
 				continue
 			}
@@ -217,14 +191,14 @@ func (c *Client) do(ctx context.Context, req *wire.Request, retryInFlight bool) 
 			return nil, lastErr // terminal
 		}
 	}
-	return nil, fmt.Errorf("client: %d attempts exhausted: %w", c.cfg.MaxAttempts, lastErr)
+	return nil, fmt.Errorf("client: %d attempts exhausted: %w", c.cfg.retry.MaxAttempts, lastErr)
 }
 
 // --- connection pool ---
 
 type pool struct {
 	addr string
-	cfg  Config
+	cfg  config
 
 	mu     sync.Mutex
 	conns  []*conn // fixed-size slots, nil or dead until (re)dialed
@@ -232,8 +206,8 @@ type pool struct {
 	closed bool
 }
 
-func newPool(addr string, cfg Config) *pool {
-	return &pool{addr: addr, cfg: cfg, conns: make([]*conn, cfg.ConnsPerAddr)}
+func newPool(addr string, cfg config) *pool {
+	return &pool{addr: addr, cfg: cfg, conns: make([]*conn, cfg.connsPerAddr)}
 }
 
 // get returns a live connection from the pool, dialing the slot if its
@@ -252,10 +226,19 @@ func (p *pool) get(ctx context.Context) (*conn, error) {
 	}
 	p.mu.Unlock()
 
-	d := net.Dialer{Timeout: p.cfg.DialTimeout}
-	nc, err := d.DialContext(ctx, "tcp", p.addr)
+	dialer := p.cfg.dialer
+	if dialer == nil {
+		dialer = &net.Dialer{}
+	}
+	dctx, cancel := context.WithTimeout(ctx, p.cfg.dialTimeout)
+	nc, err := dialer.DialContext(dctx, "tcp", p.addr)
+	cancel()
 	if err != nil {
-		return nil, fmt.Errorf("client: dial %s: %w", p.addr, err)
+		// A failed dial provably sent nothing, so it carries the
+		// ErrUnavailable class: safe to retry anything, anywhere — and an
+		// operation that exhausts its budget this way (cluster down)
+		// surfaces as ErrUnavailable to the caller.
+		return nil, fmt.Errorf("%w: dial %s: %v", ErrUnavailable, p.addr, err)
 	}
 	cn := newConn(nc)
 
@@ -297,8 +280,6 @@ type conn struct {
 	nextID  uint64
 	pending map[uint64]chan *wire.Response
 	err     error // non-nil once dead
-
-	done chan struct{} // closed when the read loop exits
 }
 
 func newConn(nc net.Conn) *conn {
@@ -306,7 +287,6 @@ func newConn(nc net.Conn) *conn {
 		nc:      nc,
 		bw:      bufio.NewWriter(nc),
 		pending: make(map[uint64]chan *wire.Response),
-		done:    make(chan struct{}),
 	}
 	go c.readLoop()
 	return c
@@ -318,7 +298,8 @@ func (c *conn) isDead() bool {
 	return c.err != nil
 }
 
-// fail marks the connection dead and unblocks every pending request.
+// fail marks the connection dead and unblocks every pending request. A
+// dead connection is never handed out again: the pool redials its slot.
 func (c *conn) fail(err error) {
 	c.mu.Lock()
 	if c.err == nil {
@@ -333,7 +314,6 @@ func (c *conn) fail(err error) {
 }
 
 func (c *conn) readLoop() {
-	defer close(c.done)
 	br := bufio.NewReader(c.nc)
 	for {
 		frame, err := wire.ReadFrame(br)
@@ -409,6 +389,6 @@ func (c *conn) roundtrip(ctx context.Context, req *wire.Request) (*wire.Response
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
-		return nil, ctx.Err()
+		return nil, fmt.Errorf("%w: %w", errInFlight, ctx.Err())
 	}
 }

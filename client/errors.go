@@ -1,0 +1,147 @@
+package client
+
+// The package's error surface is deliberately small and matchable with
+// errors.Is / errors.As:
+//
+//   - Sentinels classify a failure by what the caller may safely do next
+//     (ErrUnavailable → retry anywhere, ErrUncertain → only read-only
+//     retries, ErrTimeout/ErrClosed/ErrTypeMismatch → terminal here).
+//   - *StatusError carries the wire status code and message of a non-OK
+//     server response verbatim, for callers that need the exact protocol
+//     status rather than its retry class.
+//
+// Every error returned by this package matches at most one retry-class
+// sentinel; StatusError additionally matches the sentinel its status
+// implies, so `errors.Is(err, client.ErrUnavailable)` works whether the
+// classification happened locally or on the server.
+
+import (
+	"errors"
+	"fmt"
+
+	"crdtsmr/internal/wire"
+)
+
+// Status is a client-protocol response status code, as defined in
+// docs/PROTOCOL.md §2.5. The zero value is StatusOK; every other value
+// reaches callers wrapped in a *StatusError.
+type Status uint8
+
+// The values are tied to the wire constants so the two copies cannot
+// drift: the client classifies responses by these exact bytes.
+const (
+	// StatusOK: the operation completed.
+	StatusOK = Status(wire.StatusOK)
+	// StatusUnavailable: the operation provably did not execute (the
+	// replica refused it before running the protocol, or the operation is
+	// read-only and therefore has no effects to be uncertain about).
+	// Retrying on any replica is always safe.
+	StatusUnavailable = Status(wire.StatusUnavailable)
+	// StatusUncertain: the operation was accepted but its fate is unknown
+	// (timed out or aborted mid-protocol). An update may or may not have
+	// been applied.
+	StatusUncertain = Status(wire.StatusUncertain)
+	// StatusBadRequest: the request named an unknown mutation or admin
+	// command, or carried bad operands. Retrying it cannot succeed.
+	StatusBadRequest = Status(wire.StatusBadRequest)
+	// StatusFailed: the operation ran and failed terminally — the wire
+	// name is "error" (e.g. a mutation applied to an object of a
+	// different CRDT type).
+	StatusFailed = Status(wire.StatusError)
+)
+
+// String renders the status by its docs/PROTOCOL.md name.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusUnavailable:
+		return "unavailable"
+	case StatusUncertain:
+		return "uncertain"
+	case StatusBadRequest:
+		return "bad request"
+	case StatusFailed:
+		return "error"
+	default:
+		return fmt.Sprintf("status %d", uint8(s))
+	}
+}
+
+// Sentinel errors. Operations return errors matching (errors.Is) at most
+// one of the retry-class sentinels; see the package documentation for the
+// retry contract each implies.
+var (
+	// ErrClosed is returned by operations on a closed client.
+	ErrClosed = errors.New("client: closed")
+
+	// ErrUnavailable means the operation provably was not applied: the
+	// client may retry it — any operation, against any replica — without
+	// risking a duplicate effect. The client does so itself within its
+	// retry budget; an error still matching ErrUnavailable means the
+	// budget ran out with every attempt refused.
+	ErrUnavailable = errors.New("client: cluster unavailable")
+
+	// ErrUncertain means an update's fate is unknown: it may or may not
+	// have been applied (it timed out or aborted mid-protocol, or the
+	// connection died with the request in flight). Read-only operations
+	// never carry this class — having no effects, their server and
+	// connection failures take ErrUnavailable and their deadline
+	// expiries ErrTimeout — so callers only ever face the at-least-once
+	// decision for updates, and retrying one after ErrUncertain accepts
+	// it.
+	ErrUncertain = errors.New("client: operation fate uncertain")
+
+	// ErrTimeout means the operation's deadline expired — the caller's
+	// context deadline, or the configured WithRequestTimeout fallback.
+	// Errors matching ErrTimeout also match context.DeadlineExceeded.
+	// An update whose deadline struck after its request was already on
+	// the wire additionally matches ErrUncertain: the deadline killed
+	// the wait, not necessarily the operation.
+	ErrTimeout = errors.New("client: deadline exceeded")
+
+	// ErrTypeMismatch means a typed handle read an object holding a
+	// different CRDT type (e.g. Counter.Value on an OR-Set key),
+	// detected client-side when decoding the queried state. The
+	// server-side twin — a mutation applied to an object of another type
+	// — surfaces as a *StatusError with StatusFailed. Retrying cannot
+	// succeed; use a handle of the key's actual type.
+	ErrTypeMismatch = errors.New("client: crdt type mismatch")
+)
+
+// StatusError is a non-OK response from a server, carrying the wire
+// status code and the server's message verbatim.
+//
+// A *StatusError matches (errors.Is) the sentinel of its retry class:
+// ErrUnavailable for StatusUnavailable, ErrUncertain for StatusUncertain
+// — except that a StatusUncertain answer to a read-only operation (a
+// server predating the read-only rule of docs/PROTOCOL.md §2.5 may send
+// one) matches ErrUnavailable instead: a read has no fate to be
+// uncertain about, and the status and message stay verbatim for
+// inspection. StatusBadRequest, StatusFailed, and unknown future codes
+// are terminal and match no retry sentinel.
+type StatusError struct {
+	Status Status // wire status code (docs/PROTOCOL.md §2.5)
+	Msg    string // server's diagnostic message
+
+	// readOnly marks responses to effect-free operations (queries,
+	// admin commands), set by the client when it builds the error.
+	readOnly bool
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("client: server %s: %s", e.Status, e.Msg)
+}
+
+// Is maps the status onto the package's retry-class sentinels, so
+// errors.Is(err, ErrUnavailable) works on server-reported statuses.
+func (e *StatusError) Is(target error) bool {
+	switch target {
+	case ErrUnavailable:
+		return e.Status == StatusUnavailable || (e.readOnly && e.Status == StatusUncertain)
+	case ErrUncertain:
+		return e.Status == StatusUncertain && !e.readOnly
+	}
+	return false
+}

@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"time"
 
-	"crdtsmr/internal/client"
+	"crdtsmr/client"
 	"crdtsmr/internal/cluster"
 	"crdtsmr/internal/core"
 	"crdtsmr/internal/crdt"
@@ -16,7 +16,8 @@ import (
 // Example connects a network client to a served 3-replica cluster: the
 // replicas replicate over an in-process mesh here, but the client path —
 // frames, pooling, pipelining, typed handles — is the same TCP stack a
-// cmd/crdtsmrd deployment serves.
+// cmd/crdtsmrd deployment serves. External modules import the client as
+// crdtsmr/client and need nothing else.
 func Example() {
 	// Cluster side: three replicas and a network server per replica.
 	mesh := transport.NewMesh(transport.WithSeed(1))
@@ -44,8 +45,11 @@ func Example() {
 	}
 
 	// Client side: a pooled, pipelining client that fails over between
-	// the listed replicas.
-	c, err := client.New(client.Config{Addrs: addrs})
+	// the listed replicas. Retry/pooling behaviour is tuned with
+	// functional options; the context bounds each operation.
+	c, err := client.New(addrs,
+		client.WithPool(2),
+		client.WithRetryPolicy(client.RetryPolicy{MaxAttempts: 4}))
 	if err != nil {
 		panic(err)
 	}

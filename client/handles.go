@@ -2,7 +2,10 @@ package client
 
 // Typed handles mirroring the facade's Counter/Set/Register API, plus raw
 // queries and admin commands. Handles are cheap stateless views over the
-// client's connection pool; create as many as convenient.
+// client's connection pool; create as many as convenient. Every method
+// that performs I/O takes a context.Context first — the context's
+// deadline (or the WithRequestTimeout fallback) bounds the operation,
+// retries included.
 
 import (
 	"context"
@@ -14,11 +17,29 @@ import (
 	"crdtsmr/internal/wire"
 )
 
+// State is a CRDT payload: an element of a join semilattice, as returned
+// by Query. It is the same type the root crdtsmr package exports, so
+// states cross between the in-process facade and the network client
+// without conversion.
+type State = crdt.State
+
+// LearnPath reports which protocol path served a linearizable read.
+type LearnPath = core.LearnPath
+
+const (
+	// LearnConsistentQuorum: a quorum of ACKs carried equivalent states;
+	// the read finished in one round trip.
+	LearnConsistentQuorum = core.LearnConsistentQuorum
+	// LearnVote: the proposer had to put the least upper bound to a vote
+	// (two round trips).
+	LearnVote = core.LearnVote
+)
+
 // QueryInfo describes how a linearizable read was served.
 type QueryInfo struct {
 	RoundTrips int
 	Attempts   int
-	Path       core.LearnPath
+	Path       LearnPath
 }
 
 func uvarintArg(n uint64) []byte {
@@ -38,7 +59,7 @@ func (c *Client) update(ctx context.Context, key, crdtType, mutation string, arg
 
 // Query learns a linearizable state of the object stored under key. The
 // payload type must be registered (all built-in types are).
-func (c *Client) Query(ctx context.Context, key string) (crdt.State, QueryInfo, error) {
+func (c *Client) Query(ctx context.Context, key string) (State, QueryInfo, error) {
 	resp, err := c.do(ctx, &wire.Request{Op: wire.OpQuery, Key: key}, true)
 	if err != nil {
 		return nil, QueryInfo{}, err
@@ -50,7 +71,7 @@ func (c *Client) Query(ctx context.Context, key string) (crdt.State, QueryInfo, 
 	info := QueryInfo{
 		RoundTrips: int(resp.RoundTrips),
 		Attempts:   int(resp.Attempts),
-		Path:       core.LearnPath(resp.Path),
+		Path:       LearnPath(resp.Path),
 	}
 	return st, info, nil
 }
@@ -114,7 +135,7 @@ func (h *Counter) Value(ctx context.Context) (uint64, error) {
 	}
 	g, ok := st.(*crdt.GCounter)
 	if !ok {
-		return 0, fmt.Errorf("client: payload of %q is %s, not a G-Counter", h.key, st.TypeName())
+		return 0, fmt.Errorf("%w: payload of %q is %s, not a G-Counter", ErrTypeMismatch, h.key, st.TypeName())
 	}
 	return g.Value(), nil
 }
@@ -146,7 +167,7 @@ func (h *PNCounter) Value(ctx context.Context) (int64, error) {
 	}
 	p, ok := st.(*crdt.PNCounter)
 	if !ok {
-		return 0, fmt.Errorf("client: payload of %q is %s, not a PN-Counter", h.key, st.TypeName())
+		return 0, fmt.Errorf("%w: payload of %q is %s, not a PN-Counter", ErrTypeMismatch, h.key, st.TypeName())
 	}
 	return p.Value(), nil
 }
@@ -179,7 +200,7 @@ func (h *Set) Elements(ctx context.Context) ([]string, error) {
 	}
 	set, ok := st.(*crdt.ORSet)
 	if !ok {
-		return nil, fmt.Errorf("client: payload of %q is %s, not an OR-Set", h.key, st.TypeName())
+		return nil, fmt.Errorf("%w: payload of %q is %s, not an OR-Set", ErrTypeMismatch, h.key, st.TypeName())
 	}
 	return set.Elements(), nil
 }
@@ -209,7 +230,7 @@ func (h *Register) Load(ctx context.Context) (value string, ok bool, err error) 
 	}
 	reg, isReg := st.(*crdt.LWWRegister)
 	if !isReg {
-		return "", false, fmt.Errorf("client: payload of %q is %s, not an LWW-Register", h.key, st.TypeName())
+		return "", false, fmt.Errorf("%w: payload of %q is %s, not an LWW-Register", ErrTypeMismatch, h.key, st.TypeName())
 	}
 	val, ts, _ := reg.Value()
 	return val, ts != 0, nil

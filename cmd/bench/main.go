@@ -5,7 +5,7 @@
 // the sharded-store scaling sweep (aggregate throughput vs key count with
 // a fixed per-key client load) and -figure clients runs the served-store
 // sweep: closed-loop clients driving the store through the real TCP
-// client/server stack (internal/client, internal/server) with the replica
+// client/server stack (crdtsmr/client, internal/server) with the replica
 // mesh emulated, one throughput grid of clients × keyspace size.
 //
 // The default scale finishes in minutes; raise -duration and -clients to

@@ -2,7 +2,7 @@
 // linearizable CRDT keyspace — joining the replica mesh over TCP
 // (internal/transport) and serving remote clients the frame protocol of
 // docs/PROTOCOL.md (internal/server) — plus a small client CLI speaking
-// that protocol through internal/client.
+// that protocol through the public crdtsmr/client package.
 //
 // Start a 3-node cluster (separate terminals or machines):
 //
@@ -37,7 +37,7 @@ import (
 	"syscall"
 	"time"
 
-	"crdtsmr/internal/client"
+	"crdtsmr/client"
 	"crdtsmr/internal/cluster"
 	"crdtsmr/internal/core"
 	"crdtsmr/internal/crdt"
@@ -193,7 +193,7 @@ func clientOp(op string, args []string) error {
 		return fmt.Errorf("%s requires -key", op)
 	}
 
-	c, err := client.New(client.Config{Addrs: strings.Split(*addrs, ",")})
+	c, err := client.New(strings.Split(*addrs, ","))
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,143 @@
+package main
+
+// The API guard for the deprecated internal/client shim. The client
+// library is public (crdtsmr/client); internal/client survives only as an
+// empty package so stale references fail loudly at the import site with a
+// deprecation notice instead of a missing-package error. Two invariants
+// keep it that way:
+//
+//  1. internal/client exports nothing — no types, funcs, consts, vars, or
+//     methods may regrow there;
+//  2. no Go file in the repository imports crdtsmr/internal/client.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// shimImportPath is the import path frozen by the guard.
+const shimImportPath = "crdtsmr/internal/client"
+
+// checkClientShim enforces both invariants under root. A missing
+// internal/client directory satisfies the guard (deleting the shim
+// outright is fine); parse failures are reported, not ignored.
+func checkClientShim(root string) []error {
+	var errs []error
+	errs = append(errs, checkShimExportsNothing(filepath.Join(root, "internal", "client"))...)
+	errs = append(errs, checkShimUnimported(root)...)
+	return errs
+}
+
+func checkShimExportsNothing(dir string) []error {
+	if _, err := os.Stat(dir); os.IsNotExist(err) {
+		return nil
+	}
+	var errs []error
+	fset := token.NewFileSet()
+	// Walk recursively: a nested package (internal/client/v2) would
+	// otherwise be an importable way around the freeze.
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("apiguard: %w", err))
+			return nil
+		}
+		for _, name := range exportedDecls(file) {
+			errs = append(errs, fmt.Errorf(
+				"apiguard: %s exports %q — the internal/client shim is frozen, add API to the public client package instead",
+				path, name))
+		}
+		return nil
+	})
+	if err != nil {
+		errs = append(errs, fmt.Errorf("apiguard: %w", err))
+	}
+	return errs
+}
+
+// exportedDecls lists the exported top-level identifiers of one file:
+// types, funcs, methods (on any receiver), consts, and vars.
+func exportedDecls(file *ast.File) []string {
+	var names []string
+	add := func(id *ast.Ident) {
+		if id != nil && id.IsExported() {
+			names = append(names, id.Name)
+		}
+	}
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			add(d.Name)
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch sp := spec.(type) {
+				case *ast.TypeSpec:
+					add(sp.Name)
+				case *ast.ValueSpec:
+					for _, id := range sp.Names {
+						add(id)
+					}
+				}
+			}
+		}
+	}
+	return names
+}
+
+func checkShimUnimported(root string) []error {
+	var errs []error
+	fset := token.NewFileSet()
+	shimDir := filepath.Join(root, "internal", "client")
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Skip VCS and tool state; the shim may import itself freely.
+			if name := d.Name(); name == ".git" || name == ".claude" {
+				return filepath.SkipDir
+			}
+			if path == shimDir {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("apiguard: %w", err))
+			return nil
+		}
+		for _, imp := range file.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			// Match the shim and anything nested under it.
+			if p == shimImportPath || strings.HasPrefix(p, shimImportPath+"/") {
+				errs = append(errs, fmt.Errorf(
+					"apiguard: %s imports %s — import the public crdtsmr/client package instead", path, p))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		errs = append(errs, fmt.Errorf("apiguard: %w", err))
+	}
+	return errs
+}

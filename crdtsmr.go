@@ -34,15 +34,16 @@
 // WithObjectInitial to give chosen keys different CRDT types (counters,
 // sets, and registers can share one cluster).
 //
-// The packages under internal/ hold the implementation: the protocol
-// (internal/core), the CRDT library (internal/crdt), transports
-// (internal/transport), the runtime (internal/cluster), the sharded store
-// (internal/store), the network serving layer and its client library
-// (internal/server, internal/client — see docs/PROTOCOL.md for the wire
-// format and cmd/crdtsmrd for the daemon), the Multi-Paxos and Raft
-// baselines, the correctness checker, and the benchmark harness. For a
-// map from the paper's sections to the packages, see
-// docs/ARCHITECTURE.md.
+// To reach a served cluster over the network instead, use the public
+// client package crdtsmr/client (docs/CLIENT.md); cmd/crdtsmrd is the
+// daemon it talks to. The packages under internal/ hold the
+// implementation: the protocol (internal/core), the CRDT library
+// (internal/crdt), transports (internal/transport), the runtime
+// (internal/cluster), the sharded store (internal/store), the network
+// serving layer (internal/server — see docs/PROTOCOL.md for the wire
+// format), the Multi-Paxos and Raft baselines, the correctness checker,
+// and the benchmark harness. For a map from the paper's sections to the
+// packages, see docs/ARCHITECTURE.md.
 package crdtsmr
 
 import (

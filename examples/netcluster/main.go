@@ -4,7 +4,7 @@
 // This demo wires up what a cmd/crdtsmrd deployment runs across machines,
 // inside one process so it needs no terminals: three replicas connected
 // by the real TCP transport, each fronted by an internal/server endpoint,
-// driven by internal/client clients — typed handles, pipelined
+// driven by the public crdtsmr/client package — typed handles, pipelined
 // connections, and failover when a replica goes down mid-traffic.
 //
 //	go run ./examples/netcluster
@@ -18,7 +18,7 @@ import (
 	"sync"
 	"time"
 
-	"crdtsmr/internal/client"
+	"crdtsmr/client"
 	"crdtsmr/internal/cluster"
 	"crdtsmr/internal/core"
 	"crdtsmr/internal/crdt"
@@ -87,7 +87,7 @@ func main() {
 
 	// Eight concurrent clients pound one counter key through different
 	// servers, pipelining over pooled connections.
-	c, err := client.New(client.Config{Addrs: addrs})
+	c, err := client.New(addrs)
 	if err != nil {
 		log.Fatal(err)
 	}

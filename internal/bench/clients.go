@@ -15,7 +15,7 @@ import (
 	"io"
 	"time"
 
-	"crdtsmr/internal/client"
+	"crdtsmr/client"
 	"crdtsmr/internal/cluster"
 	"crdtsmr/internal/core"
 	"crdtsmr/internal/crdt"
@@ -73,11 +73,9 @@ func NewNetSystem(n, nKeys int, batch time.Duration, net NetProfile) (*NetSystem
 		// bench clients of a replica share its pool and pipeline over a
 		// few connections, and a crashed replica surfaces errors instead
 		// of silently failing over (Run redirects, as for other systems).
-		cl, err := client.New(client.Config{
-			Addrs:        []string{srv.Addr()},
-			MaxAttempts:  1,
-			ConnsPerAddr: 4,
-		})
+		cl, err := client.New([]string{srv.Addr()},
+			client.WithRetryPolicy(client.RetryPolicy{MaxAttempts: 1}),
+			client.WithPool(4))
 		if err != nil {
 			s.Close()
 			return nil, err

@@ -1,25 +1,8 @@
-// Package client is the Go client library for clusters served by
-// internal/server: it speaks the client frame protocol of
-// docs/PROTOCOL.md and exposes the same typed handles as the in-process
-// facade (counters, observed-remove sets, last-writer-wins registers),
-// plus raw linearizable queries and admin commands.
+// Package client is an empty, frozen shim. The client library moved to
+// the public package crdtsmr/client so external modules can import it;
+// this package deliberately exports nothing and must stay that way (CI's
+// cmd/docscheck API guard enforces both the empty export set and the
+// absence of in-tree importers).
 //
-// A Client holds a small pool of TCP connections per server address and
-// pipelines requests: every request gets a connection-unique ID, many can
-// be in flight on one connection, and a demultiplexing read loop matches
-// responses (which arrive in completion order) back to their waiters.
-// Per-request deadlines come from the caller's context, or from
-// Config.RequestTimeout when the context has none.
-//
-// Retry policy (docs/PROTOCOL.md §Retries): an operation that fails with
-// StatusUnavailable — the replica refused it before running the protocol,
-// so it was provably not applied — is retried against the next configured
-// address, as are operations whose connection could not even be dialed.
-// Queries and admin commands (both read-only) are additionally retried on
-// StatusUncertain and mid-flight connection failures; updates are not,
-// because an update whose fate is unknown may already have been applied,
-// and the protocol offers
-// at-least-once rather than exactly-once update semantics. Callers that
-// prefer at-least-once on uncertainty can retry the returned error
-// explicitly (IsUncertain reports whether that is the failure mode).
+// Deprecated: import crdtsmr/client instead.
 package client

@@ -20,8 +20,11 @@
 //
 // Every response carries a status that tells the client whether a failed
 // operation is safe to retry elsewhere: StatusUnavailable means the
-// replica refused the command before running the protocol (not applied,
-// always retryable), StatusUncertain means the command's fate is unknown
-// (only queries are auto-retried), and StatusBadRequest/StatusError are
-// terminal. internal/client implements the matching retry policy.
+// operation provably was not applied (the replica refused it before
+// running the protocol — or it is read-only, in which case any
+// fate-class failure qualifies, so a replica partitioned from its quorum
+// answers timed-out queries "unavailable" rather than "uncertain"),
+// StatusUncertain means an update's fate is unknown, and
+// StatusBadRequest/StatusError are terminal. The public crdtsmr/client
+// package implements the matching retry policy.
 package server

@@ -3,7 +3,7 @@ package server_test
 // End-to-end acceptance test of the serving layer: a 3-node cluster whose
 // replicas talk to each other over the real TCP transport (the same
 // wiring cmd/crdtsmrd uses), each node fronted by a network server, under
-// many concurrent internal/client clients working several keys. Every
+// many concurrent crdtsmr/client clients working several keys. Every
 // completed operation is recorded in a keyed history and checked with the
 // per-key linearizability checker — the guarantee must survive the full
 // path: client frame → server → per-key replica → quorum → response.
@@ -16,8 +16,8 @@ import (
 	"testing"
 	"time"
 
+	"crdtsmr/client"
 	"crdtsmr/internal/checker"
-	"crdtsmr/internal/client"
 	"crdtsmr/internal/cluster"
 	"crdtsmr/internal/core"
 	"crdtsmr/internal/crdt"
@@ -123,7 +123,7 @@ func TestNetworkPathLinearizable(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			c, err := client.New(client.Config{Addrs: []string{addr}, RequestTimeout: 10 * time.Second})
+			c, err := client.New([]string{addr}, client.WithRequestTimeout(10*time.Second))
 			if err != nil {
 				errs <- err
 				return

@@ -256,11 +256,11 @@ func (s *Server) handle(req *wire.Request) *wire.Response {
 	case wire.OpUpdate:
 		fu, err := s.updateFor(req)
 		if err != nil {
-			return fail(resp, err)
+			return fail(resp, err, false)
 		}
 		stats, err := s.node.UpdateKey(ctx, req.Key, fu)
 		if err != nil {
-			return fail(resp, err)
+			return fail(resp, err, false)
 		}
 		resp.Status = wire.StatusOK
 		resp.RoundTrips = uint64(stats.RoundTrips)
@@ -268,17 +268,17 @@ func (s *Server) handle(req *wire.Request) *wire.Response {
 	case wire.OpQuery:
 		st, stats, err := s.node.QueryKey(ctx, req.Key)
 		if err != nil {
-			return fail(resp, err)
+			return fail(resp, err, true)
 		}
 		enc, err := crdt.Marshal(st)
 		if err != nil {
-			return fail(resp, err)
+			return fail(resp, err, true)
 		}
 		if len(enc)+64 > wire.MaxFrame {
 			// Answer terminally instead of letting the oversized response
 			// frame silently drop the connection: the key stays diagnosable
 			// even when its state outgrows the frame limit.
-			return fail(resp, fmt.Errorf("server: state of %q (%d bytes) exceeds the %d-byte frame limit", req.Key, len(enc), wire.MaxFrame))
+			return fail(resp, fmt.Errorf("server: state of %q (%d bytes) exceeds the %d-byte frame limit", req.Key, len(enc), wire.MaxFrame), true)
 		}
 		resp.Status = wire.StatusOK
 		resp.RoundTrips = uint64(stats.RoundTrips)
@@ -307,16 +307,24 @@ func (s *Server) handleAdmin(req *wire.Request, resp *wire.Response) *wire.Respo
 		resp.Status = wire.StatusOK
 		resp.Payload = w.Bytes()
 	default:
-		return fail(resp, badRequestf("server: unknown admin command %q", req.Cmd))
+		return fail(resp, badRequestf("server: unknown admin command %q", req.Cmd), true)
 	}
 	return resp
 }
 
 // fail classifies err into a response status. The classification is what
 // the client's retry policy keys on, so it errs toward StatusUncertain:
-// only errors that provably precede the protocol run map to
+// for updates, only errors that provably precede the protocol run map to
 // StatusUnavailable.
-func fail(resp *wire.Response, err error) *wire.Response {
+//
+// readOnly marks operations with no effects (queries, admin commands):
+// for those, "was it applied?" is vacuous, so every fate-class failure —
+// timeout, abort, shutdown mid-command — is reported as StatusUnavailable
+// instead of StatusUncertain. That keeps blind failover safe by
+// construction and lets a replica cut off from its quorum (crashed, shut
+// down, or partitioned onto a minority side) answer reads with a status
+// the client may retry anywhere (docs/PROTOCOL.md §2.5).
+func fail(resp *wire.Response, err error, readOnly bool) *wire.Response {
 	var bad errBadRequest
 	switch {
 	case errors.Is(err, cluster.ErrUnavailable):
@@ -325,10 +333,14 @@ func fail(resp *wire.Response, err error) *wire.Response {
 		errors.Is(err, core.ErrAborted),
 		errors.Is(err, context.DeadlineExceeded),
 		errors.Is(err, context.Canceled):
-		// ErrStopped is uncertain, not unavailable: a node closing mid-
-		// command can return it after the update was already durable on a
-		// quorum, so a blind retry could apply the update twice.
-		resp.Status = wire.StatusUncertain
+		// ErrStopped is uncertain, not unavailable, for updates: a node
+		// closing mid-command can return it after the update was already
+		// durable on a quorum, so a blind retry could apply it twice.
+		if readOnly {
+			resp.Status = wire.StatusUnavailable
+		} else {
+			resp.Status = wire.StatusUncertain
+		}
 	case errors.As(err, &bad):
 		resp.Status = wire.StatusBadRequest
 	default:

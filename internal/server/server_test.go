@@ -3,13 +3,14 @@ package server_test
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"testing"
 	"time"
 
-	"crdtsmr/internal/client"
+	"crdtsmr/client"
 	"crdtsmr/internal/cluster"
 	"crdtsmr/internal/core"
 	"crdtsmr/internal/crdt"
@@ -58,7 +59,7 @@ func startCluster(t *testing.T, n int) (addrs []string, cl *cluster.Cluster, sto
 
 func newClient(t *testing.T, addrs ...string) *client.Client {
 	t.Helper()
-	c, err := client.New(client.Config{Addrs: addrs, RequestTimeout: 5 * time.Second})
+	c, err := client.New(addrs, client.WithRequestTimeout(5*time.Second))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestServeTypedHandles(t *testing.T) {
 func TestServePipelining(t *testing.T) {
 	addrs, _, stop := startCluster(t, 3)
 	defer stop()
-	c, err := client.New(client.Config{Addrs: addrs[:1], ConnsPerAddr: 1, RequestTimeout: 10 * time.Second})
+	c, err := client.New(addrs[:1], client.WithPool(1), client.WithRequestTimeout(10*time.Second))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,12 +233,9 @@ func TestServeUnavailable(t *testing.T) {
 	defer stop()
 	cl.Crash("n1")
 
-	c, err := client.New(client.Config{
-		Addrs:          addrs[:1],
-		MaxAttempts:    2,
-		RequestTimeout: 2 * time.Second,
-		RetryBackoff:   time.Millisecond,
-	})
+	c, err := client.New(addrs[:1],
+		client.WithRetryPolicy(client.RetryPolicy{MaxAttempts: 2, Backoff: time.Millisecond}),
+		client.WithRequestTimeout(2*time.Second))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +244,11 @@ func TestServeUnavailable(t *testing.T) {
 	if err == nil {
 		t.Fatal("update on a crashed replica succeeded")
 	}
-	if !client.IsUnavailable(err) {
-		t.Fatalf("error %v is not IsUnavailable", err)
+	if !errors.Is(err, client.ErrUnavailable) {
+		t.Fatalf("error %v does not match client.ErrUnavailable", err)
+	}
+	var se *client.StatusError
+	if !errors.As(err, &se) || se.Status != client.StatusUnavailable {
+		t.Fatalf("error %v carries no StatusError with StatusUnavailable", err)
 	}
 }

@@ -117,6 +117,41 @@ func TestMeshPartitionAndHeal(t *testing.T) {
 	waitFor(t, func() bool { return got.len() == 1 })
 }
 
+// TestMeshRepartition checks that a second Partition call replaces the
+// first split rather than stacking on top of it, that traffic within one
+// side flows, and that a node named in no group is unrestricted — the
+// semantics the chaos tests lean on when they move the partition line
+// between phases.
+func TestMeshRepartition(t *testing.T) {
+	m := NewMesh()
+	defer m.Close()
+	var gotB, gotC, gotD collect
+	a := m.Join("a", func(NodeID, []byte) {})
+	b := m.Join("b", gotB.handler)
+	m.Join("c", gotC.handler)
+	m.Join("d", gotD.handler)
+
+	// First split: {a} | {b, c}; d is in no group and reaches everyone.
+	m.Partition([]NodeID{"a"}, []NodeID{"b", "c"})
+	a.Send("b", []byte("x")) // across the split: dropped
+	waitFor(t, func() bool { return m.Stats().Dropped == 1 })
+	b.Send("c", []byte("x")) // within a side: delivered
+	waitFor(t, func() bool { return gotC.len() == 1 })
+	a.Send("d", []byte("x")) // to an unlisted node: delivered
+	waitFor(t, func() bool { return gotD.len() == 1 })
+
+	// Moving the line must unblock a→b and block b→c.
+	m.Partition([]NodeID{"a", "b"}, []NodeID{"c"})
+	dropped := m.Stats().Dropped
+	b.Send("c", []byte("x"))
+	waitFor(t, func() bool { return m.Stats().Dropped == dropped+1 })
+	a.Send("b", []byte("x"))
+	waitFor(t, func() bool { return gotB.len() == 1 })
+	if gotC.len() != 1 {
+		t.Fatalf("c received %d messages across the moved partition line, want 1", gotC.len())
+	}
+}
+
 func TestMeshBlockIsDirectional(t *testing.T) {
 	m := NewMesh()
 	defer m.Close()

@@ -4,7 +4,7 @@
 // formats built directly on it: the object envelope that multiplexes
 // per-key replication instances over one replica connection
 // (envelope.go), and the client frame protocol spoken between
-// internal/client and internal/server (frame.go). docs/PROTOCOL.md is
+// crdtsmr/client and internal/server (frame.go). docs/PROTOCOL.md is
 // the byte-level specification of both.
 //
 // The codec is a thin layer over encoding/binary varints with

@@ -1,7 +1,8 @@
 package wire
 
 // The client frame format is the second wire layer of the repository: the
-// request/response protocol spoken between internal/client and
+// request/response protocol spoken between the public crdtsmr/client
+// package and
 // internal/server, layered over length-prefixed TCP framing like the
 // replica transport but with its own header so the two can evolve
 // independently. docs/PROTOCOL.md is the normative byte-level spec;

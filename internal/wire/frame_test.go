@@ -65,6 +65,36 @@ func TestResponseRoundTrip(t *testing.T) {
 	}
 }
 
+// TestResponseStatusRoundTrip is the exhaustive property test of the
+// status path: for every op × every defined status code (plus unknown
+// future codes, which §2.7 rule 3 obliges peers to carry opaquely), an
+// encoded response must decode back to the identical status and message.
+// The non-OK body shape is shared across ops, so this is the surface a
+// client's entire error taxonomy rides on.
+func TestResponseStatusRoundTrip(t *testing.T) {
+	ops := []byte{OpUpdate | RespBit, OpQuery | RespBit, OpAdmin | RespBit}
+	statuses := []byte{StatusUnavailable, StatusUncertain, StatusBadRequest, StatusError, 9, 255}
+	msgs := []string{"", "node crashed", "unicode état ⊥", string(make([]byte, 4096))}
+	for _, op := range ops {
+		for _, status := range statuses {
+			for _, msg := range msgs {
+				in := Response{Op: op, ID: 1<<63 + 7, Status: status, Msg: msg}
+				got, err := DecodeResponse(in.Encode())
+				if err != nil {
+					t.Fatalf("op 0x%02x status %d: decode: %v", op, status, err)
+				}
+				if got.Op != in.Op || got.ID != in.ID || got.Status != in.Status || got.Msg != in.Msg {
+					t.Fatalf("op 0x%02x status %d: round trip mismatch:\n in  %+v\n out %+v", op, status, in, *got)
+				}
+				// Error-status bodies must not leak OK-only fields.
+				if got.RoundTrips != 0 || got.Attempts != 0 || got.Path != 0 || got.State != nil || got.Payload != nil {
+					t.Fatalf("op 0x%02x status %d: non-OK decode populated OK fields: %+v", op, status, *got)
+				}
+			}
+		}
+	}
+}
+
 func TestDecodeRequestRejects(t *testing.T) {
 	cases := map[string][]byte{
 		"empty":         {},
@@ -177,18 +207,34 @@ func FuzzDecodeRequest(f *testing.F) {
 	})
 }
 
-// FuzzDecodeResponse is the response-side twin of FuzzDecodeRequest.
+// FuzzDecodeResponse is the response-side twin of FuzzDecodeRequest,
+// with a stronger property on the status path: beyond re-encoding
+// decodably, every accepted frame must round-trip encode→decode to the
+// identical response — in particular the status code and message, which
+// carry the client's whole error taxonomy. The seeds cover every defined
+// error status plus an unknown future code.
 func FuzzDecodeResponse(f *testing.F) {
 	f.Add((&Response{Op: OpQuery | RespBit, ID: 1, Status: StatusOK, State: []byte{1}}).Encode())
 	f.Add((&Response{Op: OpUpdate | RespBit, ID: 2, Status: StatusUnavailable, Msg: "x"}).Encode())
+	f.Add((&Response{Op: OpQuery | RespBit, ID: 3, Status: StatusUncertain, Msg: "timed out mid-protocol"}).Encode())
+	f.Add((&Response{Op: OpAdmin | RespBit, ID: 4, Status: StatusBadRequest, Msg: "unknown admin command"}).Encode())
+	f.Add((&Response{Op: OpUpdate | RespBit, ID: 5, Status: StatusError, Msg: "type mismatch"}).Encode())
+	f.Add((&Response{Op: OpQuery | RespBit, ID: 6, Status: 9, Msg: "status from the future"}).Encode())
+	f.Add((&Response{Op: OpUpdate | RespBit, ID: 7, Status: StatusUnavailable}).Encode())
 	f.Add([]byte{FrameVersion})
 	f.Fuzz(func(t *testing.T, frame []byte) {
 		resp, err := DecodeResponse(frame)
 		if err != nil {
 			return
 		}
-		if _, err := DecodeResponse(resp.Encode()); err != nil {
+		again, err := DecodeResponse(resp.Encode())
+		if err != nil {
 			t.Fatalf("accepted frame re-encodes undecodably: %v", err)
+		}
+		if again.Op != resp.Op || again.ID != resp.ID || again.Status != resp.Status || again.Msg != resp.Msg ||
+			again.RoundTrips != resp.RoundTrips || again.Attempts != resp.Attempts || again.Path != resp.Path ||
+			!bytes.Equal(again.State, resp.State) || !bytes.Equal(again.Payload, resp.Payload) {
+			t.Fatalf("encode/decode not idempotent:\n first  %+v\n second %+v", *resp, *again)
 		}
 	})
 }
