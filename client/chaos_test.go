@@ -20,6 +20,7 @@ import (
 
 	"crdtsmr/client"
 	"crdtsmr/internal/checker"
+	"crdtsmr/internal/core"
 	"crdtsmr/internal/transport"
 )
 
@@ -93,7 +94,11 @@ func workload(t *testing.T, hist *checker.KeyedHistory, addrs, keys []string, op
 // TestChaosPartitionHealLinearizable is the partition sweep: healthy →
 // partition {n1,n2,n3}|{n4,n5} → heal → partition {n3,n4,n5}|{n1,n2} →
 // heal, with the workload pinned to whichever side holds a quorum and the
-// isolated minority probed for its error surface.
+// isolated minority probed for its error surface. It runs with delta
+// state transfer on: the digest caches and fallback paths must survive
+// partitions, not just clean runs (partitioned peers miss MERGEs, so
+// their baselines go stale and the MERGE-NACK → full-resend path is
+// exactly what a heal exercises).
 func TestChaosPartitionHealLinearizable(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second chaos test")
@@ -103,7 +108,7 @@ func TestChaosPartitionHealLinearizable(t *testing.T) {
 		opsEach        = 8
 		requestTimeout = 500 * time.Millisecond
 	)
-	cc := startServedCluster(t, replicas, 7, requestTimeout)
+	cc := startServedClusterMode(t, replicas, 7, requestTimeout, core.TransferDelta)
 	n := cc.ids
 	keys := []string{"obj/0", "obj/1", "obj/2"}
 	hist := checker.NewKeyedHistory()

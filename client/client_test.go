@@ -29,6 +29,12 @@ type servedCluster struct {
 }
 
 func startServedCluster(t *testing.T, n int, seed int64, requestTimeout time.Duration) *servedCluster {
+	return startServedClusterMode(t, n, seed, requestTimeout, core.TransferFull)
+}
+
+// startServedClusterMode is startServedCluster with an explicit replica
+// wire state-transfer mode (the chaos sweep runs with deltas on).
+func startServedClusterMode(t *testing.T, n int, seed int64, requestTimeout time.Duration, mode core.StateTransfer) *servedCluster {
 	t.Helper()
 	mesh := transport.NewMesh(transport.WithSeed(seed))
 	ids := make([]transport.NodeID, n)
@@ -40,6 +46,7 @@ func startServedCluster(t *testing.T, n int, seed int64, requestTimeout time.Dur
 		Initial:            crdt.NewGCounter(),
 		InitialForKey:      server.TypedKeyInitial(crdt.TypeGCounter),
 		Options:            core.DefaultOptions(),
+		StateTransfer:      mode,
 		RetransmitInterval: 20 * time.Millisecond,
 	})
 	if err != nil {

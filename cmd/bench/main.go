@@ -3,10 +3,13 @@
 // (Figure 2), read round-trip distributions (Figure 3), and the
 // node-failure timeline (Figure 4). Beyond the paper, -figure keys runs
 // the sharded-store scaling sweep (aggregate throughput vs key count with
-// a fixed per-key client load) and -figure clients runs the served-store
+// a fixed per-key client load), -figure clients runs the served-store
 // sweep: closed-loop clients driving the store through the real TCP
 // client/server stack (crdtsmr/client, internal/server) with the replica
-// mesh emulated, one throughput grid of clients × keyspace size.
+// mesh emulated, one throughput grid of clients × keyspace size, and
+// -figure bytes runs the state-transfer sweep: replica-wire bytes per
+// operation vs object size for the full/digest/delta -state-transfer
+// modes, measured with transport byte counters (wall-clock independent).
 //
 // The default scale finishes in minutes; raise -duration and -clients to
 // approach the paper's 10-minute, 4096-client runs.
@@ -18,6 +21,7 @@
 //	bench -figure 3 -batch 5ms
 //	bench -figure keys -keys 1,4,16,64,256 -per-key 2
 //	bench -figure clients -keys 1,4,16 -clients 8,64,256
+//	bench -figure bytes -sizes 10,100,1000
 package main
 
 import (
@@ -40,7 +44,7 @@ func main() {
 
 func run() error {
 	var (
-		figure   = flag.String("figure", "all", "figure to regenerate: 1, 2, 3, 4, keys, clients, or all")
+		figure   = flag.String("figure", "all", "figure to regenerate: 1, 2, 3, 4, keys, clients, bytes, or all")
 		duration = flag.Duration("duration", 2*time.Second, "measurement duration per data point (paper: 10m)")
 		warmup   = flag.Duration("warmup", 300*time.Millisecond, "warm-up excluded from statistics")
 		clients  = flag.String("clients", "1,8,64,256", "comma-separated client sweep (paper: 1..4096)")
@@ -51,6 +55,8 @@ func run() error {
 		seed     = flag.Int64("seed", 1, "network RNG seed")
 		keys     = flag.String("keys", "1,4,16,64", "comma-separated key counts for the sharded-store sweep (figure keys)")
 		perKey   = flag.Int("per-key", 2, "closed-loop clients per key for the sharded-store sweep")
+		sizes    = flag.String("sizes", "10,100,1000", "comma-separated or-set sizes for the bytes sweep (figure bytes)")
+		byteOps  = flag.Int("byte-ops", 30, "operations per data point for the bytes sweep")
 	)
 	flag.Parse()
 
@@ -59,6 +65,10 @@ func run() error {
 		return err
 	}
 	keySweep, err := parseClients(*keys)
+	if err != nil {
+		return err
+	}
+	sizeSweep, err := parseClients(*sizes)
 	if err != nil {
 		return err
 	}
@@ -87,13 +97,15 @@ func run() error {
 			return bench.FigureKeys(out, scale, keySweep, *perKey)
 		case "clients":
 			return bench.FigureClients(out, scale, keySweep, sweep)
+		case "bytes":
+			return bench.FigureBytes(out, *replicas, sizeSweep, *byteOps)
 		default:
 			return fmt.Errorf("unknown figure %q", fig)
 		}
 	}
 
 	if *figure == "all" {
-		for _, fig := range []string{"1", "2", "3", "4", "keys", "clients"} {
+		for _, fig := range []string{"1", "2", "3", "4", "keys", "clients", "bytes"} {
 			if err := runOne(fig); err != nil {
 				return err
 			}

@@ -90,6 +90,7 @@ func serve(args []string) error {
 	peersFlag := fs.String("peers", "", "comma-separated id=addr pairs for the full cluster")
 	batch := fs.Duration("batch", 0, "per-key batching window (0 disables; the paper evaluated 5ms)")
 	payload := fs.String("payload", crdt.TypeGCounter, "CRDT type of keys without a type prefix")
+	transfer := fs.String("state-transfer", "full", "replica-wire state transfer: full, digest, or delta (docs/PROTOCOL.md §3; use one mode cluster-wide)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -99,6 +100,10 @@ func serve(args []string) error {
 	initial, err := crdt.New(*payload)
 	if err != nil {
 		return fmt.Errorf("-payload: %w (known types: %s)", err, strings.Join(crdt.Names(), ", "))
+	}
+	mode, err := core.ParseStateTransfer(*transfer)
+	if err != nil {
+		return fmt.Errorf("-state-transfer: %w", err)
 	}
 
 	peers := map[transport.NodeID]string{}
@@ -122,6 +127,7 @@ func serve(args []string) error {
 		InitialForKey: server.TypedKeyInitial(*payload),
 		Options:       core.DefaultOptions(),
 		BatchInterval: *batch,
+		StateTransfer: mode,
 	}, func(nid transport.NodeID, h transport.Handler) transport.Conn {
 		remote := map[transport.NodeID]string{}
 		for p, a := range peers {
@@ -156,8 +162,8 @@ func serve(args []string) error {
 		return err
 	}
 	defer srv.Close()
-	fmt.Printf("replica %s up: mesh %s, clients %s, default payload %s\n",
-		*id, *listen, srv.Addr(), *payload)
+	fmt.Printf("replica %s up: mesh %s, clients %s, default payload %s, state transfer %s\n",
+		*id, *listen, srv.Addr(), *payload, mode)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

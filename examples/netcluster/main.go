@@ -7,11 +7,21 @@
 // driven by the public crdtsmr/client package — typed handles, pipelined
 // connections, and failover when a replica goes down mid-traffic.
 //
+// The -state-transfer flag selects the replica-wire transfer mode
+// (docs/PROTOCOL.md §3); the demo reports the replica-wire bytes the run
+// cost, so the modes can be compared directly. Note the payloads here
+// are tiny counters, smaller than a 32-byte digest — on this workload
+// full transfer wins, and digest/delta pay off as objects grow (the
+// bench sweep shows the crossover):
+//
 //	go run ./examples/netcluster
+//	go run ./examples/netcluster -state-transfer full
+//	go run ./cmd/bench -figure bytes -sizes 10,100,1000   # the full sweep
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 	"net"
@@ -27,6 +37,13 @@ import (
 )
 
 func main() {
+	transferFlag := flag.String("state-transfer", "digest", "replica-wire state transfer: full, digest, or delta")
+	flag.Parse()
+	mode, err := core.ParseStateTransfer(*transferFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	ids := []transport.NodeID{"n1", "n2", "n3"}
 
 	// Reserve a mesh address per replica so every node can be configured
@@ -46,11 +63,13 @@ func main() {
 		Initial:            crdt.NewGCounter(),
 		InitialForKey:      server.TypedKeyInitial(crdt.TypeGCounter),
 		Options:            core.DefaultOptions(),
+		StateTransfer:      mode,
 		RetransmitInterval: 20 * time.Millisecond,
 	}
 	var nodes []*cluster.Node
 	var servers []*server.Server
 	var addrs []string
+	var meshConns []*transport.TCP
 	for _, id := range ids {
 		id := id
 		node, err := cluster.NewNode(id, cfg, func(nid transport.NodeID, h transport.Handler) transport.Conn {
@@ -64,6 +83,7 @@ func main() {
 			if err != nil {
 				log.Fatalf("replica %s: %v", nid, err)
 			}
+			meshConns = append(meshConns, t)
 			return t
 		})
 		if err != nil {
@@ -150,6 +170,16 @@ func main() {
 	if v != workers*each+10 {
 		log.Fatalf("lost updates during failover: got %d", v)
 	}
+
+	// The replica wire's byte bill for the whole run: compare across
+	// -state-transfer modes (bench -figure bytes runs the proper sweep).
+	var meshBytes, meshMsgs uint64
+	for _, t := range meshConns {
+		st := t.Stats()
+		meshBytes += st.BytesSent
+		meshMsgs += st.Sent
+	}
+	fmt.Printf("replica wire (%s transfer): %d messages, %d payload bytes\n", mode, meshMsgs, meshBytes)
 
 	fmt.Println("ok: network clients stayed linearizable across a replica crash")
 }

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"testing"
+
+	"crdtsmr/internal/core"
+)
+
+// TestBytesSweepConvergedReduction is the acceptance gate of the digest
+// refactor: on a converged 3-replica or-set at 1k-element states, digest
+// (and delta) transfer must cut replica-wire bytes per read by at least
+// 5x against full-state transfer — measured with the transport byte
+// counters, not wall time. Delta mode must also cut the cost of a
+// growing update by at least 5x (full mode re-ships the whole set).
+func TestBytesSweepConvergedReduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second byte sweep")
+	}
+	points, err := RunBytesSweep(3, []int{1000}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMode := make(map[core.StateTransfer]BytesPoint, len(points))
+	for _, p := range points {
+		byMode[p.Mode] = p
+	}
+	full, digest, delta := byMode[core.TransferFull], byMode[core.TransferDigest], byMode[core.TransferDelta]
+
+	if full.StateLen < 10000 {
+		t.Fatalf("1k-element state marshals to only %dB — object not at size", full.StateLen)
+	}
+	// Full mode ships the state in every ACK: reads must cost state-scale
+	// bytes, or the baseline itself is broken.
+	if full.ReadBytes < float64(full.StateLen) {
+		t.Fatalf("full-mode read = %.0f B/op, below one state (%d B)", full.ReadBytes, full.StateLen)
+	}
+	for _, p := range []BytesPoint{digest, delta} {
+		if r := p.Reduction(full); r < 5 {
+			t.Errorf("%v read reduction = %.1fx (%.0f vs %.0f B/op), want ≥ 5x",
+				p.Mode, r, p.ReadBytes, full.ReadBytes)
+		}
+	}
+	if full.AddBytes < 5*delta.AddBytes {
+		t.Errorf("delta add = %.0f B/op vs full %.0f B/op, want ≥ 5x reduction",
+			delta.AddBytes, full.AddBytes)
+	}
+	// Digest mode cannot shrink growing updates (the state changed), but
+	// no-op updates must collapse to digest scale in both cheap modes.
+	for _, p := range []BytesPoint{digest, delta} {
+		if full.NoopBytes < 5*p.NoopBytes {
+			t.Errorf("%v noop-add = %.0f B/op vs full %.0f B/op, want ≥ 5x reduction",
+				p.Mode, p.NoopBytes, full.NoopBytes)
+		}
+	}
+}

@@ -18,6 +18,15 @@ type ExploreConfig struct {
 	Options     core.Options
 	MaxSteps    int // safety bound on message deliveries (default 200k)
 	InjectEvery int // inject a command roughly every k scheduler actions (default 2)
+
+	// Loss drops each delivered message with the given probability;
+	// Duplication re-enqueues it for a second delivery. Under either,
+	// the exploration stands in for the runtime's retransmit timers:
+	// whenever the network goes quiescent with requests still in flight,
+	// every replica re-drives them (RetransmitAll) before the drain
+	// continues.
+	Loss        float64
+	Duplication float64
 }
 
 // QueryObs is one completed query: its real-time interval and learned state.
@@ -35,6 +44,11 @@ type ExploreResult struct {
 	Queries     []QueryObs // in completion order
 	History     []Op
 	MaxAttempts int // worst query retry count observed
+
+	UpdatesSubmitted int           // increments injected (== converged value)
+	FinalValue       uint64        // converged counter value after the drain
+	Retransmits      int           // quiescent-with-in-flight retransmit rounds
+	Counters         core.Counters // summed protocol counters of all replicas
 }
 
 // Explore runs a cluster of core replicas over a deterministic fabric,
@@ -65,6 +79,8 @@ func Explore(cfg ExploreConfig) (*ExploreResult, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	fabric := transport.NewFabric(cfg.Seed + 1)
+	fabric.SetLoss(cfg.Loss)
+	fabric.SetDuplication(cfg.Duplication)
 
 	members := make([]transport.NodeID, cfg.Replicas)
 	for i := range members {
@@ -139,30 +155,83 @@ func Explore(cfg ExploreConfig) (*ExploreResult, error) {
 		flush(id)
 	}
 
-	// Interleave injections with deliveries, then drain.
+	inFlight := func() int {
+		n := 0
+		for _, rep := range replicas {
+			n += rep.InFlight()
+		}
+		return n
+	}
+
+	// Interleave injections with deliveries, then drain. Under loss the
+	// drain can go quiescent with requests still in flight; the runtime's
+	// retransmit timers are modeled by re-driving every in-flight request
+	// (in member order, for determinism) and continuing.
 	injected := 0
 	steps := 0
-	for steps < cfg.MaxSteps && (injected < cfg.Ops || fabric.Pending() > 0) {
+	for steps < cfg.MaxSteps && (injected < cfg.Ops || fabric.Pending() > 0 || inFlight() > 0) {
 		if injected < cfg.Ops && (fabric.Pending() == 0 || steps%cfg.InjectEvery == 0) {
 			inject()
 			injected++
 		}
 		if fabric.Step() {
 			res.Delivered++
+		} else if injected >= cfg.Ops && inFlight() > 0 {
+			res.Retransmits++
+			for _, id := range members {
+				replicas[id].RetransmitAll()
+				flush(id)
+			}
 		}
 		steps++
 	}
 	if fabric.Pending() > 0 {
 		return res, fmt.Errorf("checker: network not quiescent after %d steps", cfg.MaxSteps)
 	}
-	// Eventual liveness (§3.5): the fabric is lossless and updates are
-	// finite, so after the drain no request may remain in flight.
+	// Eventual liveness (§3.5): updates are finite and every lost message
+	// is eventually retransmitted, so after the drain no request may
+	// remain in flight.
 	for id, rep := range replicas {
 		if rep.InFlight() != 0 {
 			return res, fmt.Errorf("checker: %s still has %d requests in flight after drain", id, rep.InFlight())
 		}
 	}
 
+	// Under loss or duplication the drain can leave laggards: a completed
+	// update's MERGE to a non-quorum peer may have been lost with nothing
+	// in flight to retransmit it. Convergence is an eventual-delivery
+	// property, so model "eventually": one lossless no-op sync update per
+	// replica re-ships every payload (or its digest, under digest/delta
+	// transfer — either way the receiver ends up dominating it).
+	if cfg.Loss > 0 || cfg.Duplication > 0 {
+		fabric.SetLoss(0)
+		fabric.SetDuplication(0)
+		for _, id := range members {
+			if _, err := replicas[id].SubmitUpdate(func(s crdt.State) (crdt.State, error) { return s, nil }, nil); err != nil {
+				return res, fmt.Errorf("checker: sync update at %s: %w", id, err)
+			}
+			flush(id)
+		}
+		for n := 0; n < cfg.MaxSteps && fabric.Step(); n++ {
+			res.Delivered++
+		}
+		if fabric.Pending() > 0 {
+			return res, fmt.Errorf("checker: network not quiescent after %d lossless sync steps", cfg.MaxSteps)
+		}
+		for id, rep := range replicas {
+			if rep.InFlight() != 0 {
+				return res, fmt.Errorf("checker: %s still has %d requests in flight after lossless sync", id, rep.InFlight())
+			}
+		}
+	}
+	for _, rep := range replicas {
+		res.Counters.Add(rep.Counters())
+	}
+
+	res.UpdatesSubmitted = updatesSubmitted
+	// Report the value a replica actually converged to (not the expected
+	// count — the convergence check below compares the two).
+	res.FinalValue = replicas[members[0]].LocalState().(*crdt.GCounter).Value()
 	if err := checkConditions(res, updatesSubmitted); err != nil {
 		return res, err
 	}

@@ -52,11 +52,18 @@ func (c *Cluster) Nodes() []*Node {
 
 // Crash simulates a crash of the named node: the mesh drops its traffic
 // and the node fails its commands. Internal state is retained
-// (crash-recovery model, §2.1).
+// (crash-recovery model, §2.1). The survivors drop their digest/delta
+// transfer caches about the crashed node — peer-down is the signal that
+// bounds how stale those caches can get.
 func (c *Cluster) Crash(id transport.NodeID) {
 	c.mesh.SetDown(id, true)
 	if n := c.nodes[id]; n != nil {
 		n.SetCrashed(true)
+	}
+	for oid, n := range c.nodes {
+		if oid != id {
+			n.ForgetPeer(id)
+		}
 	}
 }
 

@@ -405,3 +405,80 @@ func TestNewClusterRejectsBadConfig(t *testing.T) {
 		t.Fatal("nil initial state accepted")
 	}
 }
+
+// TestClusterStateTransferModes runs a mixed workload through every
+// state-transfer mode over the mesh and requires identical linearizable
+// results, with the fast-path counters proving the cheap frames were
+// actually used, and a crash/recover cycle (which drops the survivors'
+// digest caches via ForgetPeer) surviving in delta mode.
+func TestClusterStateTransferModes(t *testing.T) {
+	for _, mode := range []core.StateTransfer{core.TransferFull, core.TransferDigest, core.TransferDelta} {
+		t.Run(mode.String(), func(t *testing.T) {
+			mesh := transport.NewMesh(transport.WithSeed(5))
+			defer mesh.Close()
+			cfg := testConfig(3)
+			cfg.StateTransfer = mode
+			c, err := New(mesh, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+
+			ctx := ctxWith(t, 20*time.Second)
+			n1, n2, n3 := c.Node("n1"), c.Node("n2"), c.Node("n3")
+			for i := 0; i < 6; i++ {
+				if _, err := n1.Update(ctx, incSelf(n1)); err != nil {
+					t.Fatal(err)
+				}
+				if s, _, err := n2.Query(ctx); err != nil {
+					t.Fatal(err)
+				} else if v := s.(*crdt.GCounter).Value(); v != uint64(i+1) {
+					t.Fatalf("read %d after %d updates", v, i+1)
+				}
+			}
+
+			// Crash n3 (survivors forget it), keep working, recover, and
+			// require it to catch up and serve.
+			c.Crash("n3")
+			if _, err := n1.Update(ctx, incSelf(n1)); err != nil {
+				t.Fatal(err)
+			}
+			c.Recover("n3")
+			var v uint64
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				s, _, err := n3.Query(ctx)
+				if err == nil {
+					v = s.(*crdt.GCounter).Value()
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("n3 never recovered: %v", err)
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			if v != 7 {
+				t.Fatalf("recovered read = %d, want 7", v)
+			}
+
+			counters := n1.Counters()
+			counters.Add(n2.Counters())
+			counters.Add(n3.Counters())
+			switch mode {
+			case core.TransferFull:
+				if counters.DigestReplies != 0 || counters.DeltaMerges != 0 || counters.DigestMerges != 0 {
+					t.Fatalf("full mode used digest frames: %+v", counters)
+				}
+			case core.TransferDigest:
+				if counters.DigestReplies == 0 {
+					t.Fatal("digest mode never sent a digest-only reply")
+				}
+			case core.TransferDelta:
+				if counters.DigestReplies == 0 || counters.DeltaMerges == 0 {
+					t.Fatalf("delta mode fast paths unused: digestReplies=%d deltaMerges=%d",
+						counters.DigestReplies, counters.DeltaMerges)
+				}
+			}
+		})
+	}
+}

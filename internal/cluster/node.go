@@ -49,6 +49,11 @@ type Config struct {
 	// commands buffer locally per key and flush every interval, one
 	// protocol run per key per batch. The paper's evaluation uses 5 ms.
 	BatchInterval time.Duration
+	// StateTransfer selects the replica-wire state-transfer strategy for
+	// every key: full payloads (default), digest-suppressed, or delta
+	// (docs/PROTOCOL.md §3). It is copied into Options.Transfer unless
+	// Options already selects a non-default mode.
+	StateTransfer core.StateTransfer
 }
 
 func (c Config) withDefaults() Config {
@@ -57,6 +62,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetransmitInterval <= 0 {
 		c.RetransmitInterval = 100 * time.Millisecond
+	}
+	if c.Options.Transfer == core.TransferFull {
+		c.Options.Transfer = c.StateTransfer
 	}
 	return c
 }
@@ -296,6 +304,20 @@ func (n *Node) QueryKey(ctx context.Context, key string) (crdt.State, core.Query
 	case <-n.quit:
 		return nil, core.QueryStats{}, ErrStopped
 	}
+}
+
+// ForgetPeer drops the digest/delta state-transfer caches every object
+// replica on this node holds about the given peer — the per-key per-peer
+// digest cache of docs/PROTOCOL.md §3. The runtime calls it when it
+// declares a peer down; a peer that returns with its state intact simply
+// re-earns its cache entries, and one that returns empty is caught by the
+// MERGE-NACK fallback either way, so forgetting is purely conservative.
+func (n *Node) ForgetPeer(id transport.NodeID) {
+	n.call(func() {
+		for _, rep := range n.replicas {
+			rep.ForgetPeer(id)
+		}
+	})
 }
 
 // SetCrashed simulates a crash (true) or recovery (false). While crashed

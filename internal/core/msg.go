@@ -12,14 +12,19 @@ type msgType uint8
 
 const (
 	// msgMerge carries an updated payload state to remote acceptors
-	// (update path, line 4).
+	// (update path, line 4). Under digest or delta state transfer the
+	// payload may be replaced by a digest the receiver recognizes, or by
+	// a delta against a baseline it recognizes (docs/PROTOCOL.md §3).
 	msgMerge msgType = iota + 1
 	// msgMerged acknowledges a MERGE (line 35).
 	msgMerged
 	// msgPrepare announces a proposer's intent to learn a state (line 10).
+	// Under digest state transfer it also carries the digest of the
+	// proposer's local payload, enabling digest-only replies.
 	msgPrepare
 	// msgAck answers a successful PREPARE with the acceptor's round and
-	// payload state (line 42).
+	// payload state (line 42) — or, when the acceptor's state matches the
+	// digest the PREPARE announced, with the digest alone.
 	msgAck
 	// msgVote proposes a state to learn under a round (line 17).
 	msgVote
@@ -28,8 +33,13 @@ const (
 	msgVoted
 	// msgNack denies a PREPARE or VOTE, carrying the acceptor's current
 	// round and payload state so the proposer can retry informedly
-	// (§3.2 "Retrying Requests").
+	// (§3.2 "Retrying Requests"). Prepare-phase NACKs may be digest-only
+	// under the same rule as ACKs.
 	msgNack
+	// msgMergeNack answers a digest-only or delta MERGE whose digest or
+	// baseline the receiver does not recognize: the sender must fall back
+	// to the full payload (docs/PROTOCOL.md §3.3).
+	msgMergeNack
 )
 
 func (t msgType) String() string {
@@ -48,6 +58,8 @@ func (t msgType) String() string {
 		return "VOTED"
 	case msgNack:
 		return "NACK"
+	case msgMergeNack:
+		return "MERGE-NACK"
 	default:
 		return fmt.Sprintf("msgType(%d)", uint8(t))
 	}
@@ -57,33 +69,59 @@ func (t msgType) String() string {
 // Attempt correlate replies with the proposer's in-flight request and its
 // current retry attempt, implementing the request-tracking convention of
 // §3.2; replies for stale attempts are discarded.
+//
+// The trailing state frame describes the payload transfer: by value
+// (State), by digest (Digest), or by delta (State as the delta plus
+// Baseline/Digest naming the states it connects). A zero Kind with a
+// non-nil State encodes as wire.StateFull, keeping pre-digest callers and
+// the legacy wire layout unchanged.
 type message struct {
 	Type    msgType
 	Req     uint64
 	Attempt uint32
 	Round   Round
-	State   crdt.State // nil when the message carries no payload
+
+	Kind     wire.StateKind
+	State    crdt.State  // full payload, or the delta for wire.StateDelta
+	Digest   crdt.Digest // sender state digest (digest/full+digest), or delta result
+	Baseline crdt.Digest // delta baseline digest
+
+	// StateRaw is the marshaled payload exactly as received, kept by the
+	// decoder so receivers can fingerprint full states without
+	// re-encoding them. It is not consulted by encode.
+	StateRaw []byte
 }
 
 // encode serializes the message. Layout:
 //
-//	type(1) | req uvarint | attempt uvarint | round | hasState(1) | [state]
+//	type(1) | req uvarint | attempt uvarint | round | stateFrame
+//
+// where stateFrame is the versioned state-transfer frame of
+// internal/wire/state.go (kinds 0 and 1 are byte-identical to the legacy
+// hasState(1) | [state] layout).
 func (m *message) encode() ([]byte, error) {
 	w := wire.NewWriter(64)
 	w.Byte(byte(m.Type))
 	w.Uvarint(m.Req)
 	w.Uvarint(uint64(m.Attempt))
 	m.Round.encode(w)
-	if m.State == nil {
-		w.Bool(false)
-		return w.Bytes(), nil
+
+	kind := m.Kind
+	if kind == wire.StateNone && m.State != nil {
+		kind = wire.StateFull
 	}
-	w.Bool(true)
-	raw, err := crdt.Marshal(m.State)
-	if err != nil {
-		return nil, fmt.Errorf("core: encode %s: %w", m.Type, err)
+	frame := wire.StateFrame{Kind: kind, Digest: m.Digest, Baseline: m.Baseline}
+	if kind.HasPayload() {
+		if m.State == nil {
+			return nil, fmt.Errorf("core: encode %s: %v frame without a state", m.Type, kind)
+		}
+		raw, err := crdt.Marshal(m.State)
+		if err != nil {
+			return nil, fmt.Errorf("core: encode %s: %w", m.Type, err)
+		}
+		frame.State = raw
 	}
-	w.Raw(raw)
+	frame.Append(w)
 	return w.Bytes(), nil
 }
 
@@ -96,21 +134,22 @@ func decodeMessage(p []byte) (*message, error) {
 		Attempt: uint32(r.Uvarint()),
 		Round:   decodeRound(r),
 	}
-	if r.Bool() {
-		raw := r.Raw()
-		if r.Err() != nil {
-			return nil, r.Err()
-		}
-		s, err := crdt.Unmarshal(raw)
+	frame := wire.ReadStateFrame(r)
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("core: decode %s: %w", m.Type, err)
+	}
+	m.Kind = frame.Kind
+	m.Digest = crdt.Digest(frame.Digest)
+	m.Baseline = crdt.Digest(frame.Baseline)
+	if frame.Kind.HasPayload() {
+		s, err := crdt.Unmarshal(frame.State)
 		if err != nil {
 			return nil, fmt.Errorf("core: decode %s state: %w", m.Type, err)
 		}
 		m.State = s
+		m.StateRaw = frame.State
 	}
-	if err := r.Done(); err != nil {
-		return nil, fmt.Errorf("core: decode %s: %w", m.Type, err)
-	}
-	if m.Type < msgMerge || m.Type > msgNack {
+	if m.Type < msgMerge || m.Type > msgMergeNack {
 		return nil, fmt.Errorf("core: unknown message type %d", m.Type)
 	}
 	return m, nil

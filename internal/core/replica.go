@@ -3,9 +3,11 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"crdtsmr/internal/crdt"
 	"crdtsmr/internal/transport"
+	"crdtsmr/internal/wire"
 )
 
 // Options configure optional protocol behaviours.
@@ -23,6 +25,12 @@ type Options struct {
 	// with the LUB of every payload received so far, regardless of this
 	// option.
 	SeedPrepare bool
+
+	// Transfer selects the state-transfer strategy of the replica wire:
+	// full payloads (the paper's format, the default), digest-suppressed
+	// payloads, or deltas (docs/PROTOCOL.md §3). It changes only how many
+	// bytes move, never what is learned.
+	Transfer StateTransfer
 }
 
 // DefaultOptions match the configuration evaluated in the paper (§4):
@@ -102,7 +110,8 @@ type Replica struct {
 	quorum int                // majority of the full cluster incl. self
 	opts   Options
 
-	acc acceptor
+	acc  acceptor
+	xfer transferState // digest/delta bookkeeping (Transfer != TransferFull)
 
 	nextReq  uint64
 	nextSeq  uint64
@@ -111,6 +120,13 @@ type Replica struct {
 	learned  crdt.State // largest learned state (GLA-Stability, §3.4)
 	outbox   []Envelope
 	counters Counters
+
+	// retired is the most recent update that answered its client at
+	// quorum with MERGEDs still outstanding. Late MERGEDs matching it
+	// keep updating the per-peer views (so the slower peers still earn
+	// digest/delta MERGEs) without retaining unbounded per-command state
+	// — a single slot, overwritten by the next such update.
+	retired *updateReq
 }
 
 // Counters aggregates protocol-level statistics across all requests
@@ -129,6 +145,10 @@ type Counters struct {
 	VotesRejected      uint64 // acceptor-side NACKs to votes
 	IncrementalPrepare uint64 // prepares issued with ⊥ number
 	FixedPrepare       uint64 // prepares issued with a concrete number
+	DigestReplies      uint64 // ACK/NACK replies sent digest-only (payload suppressed)
+	DigestMerges       uint64 // MERGE messages sent digest-only
+	DeltaMerges        uint64 // MERGE messages sent as deltas
+	MergeFallbacks     uint64 // full-payload resends after a MERGE-NACK
 }
 
 // Add accumulates o into c, field by field. Runtimes aggregating many
@@ -148,11 +168,17 @@ func (c *Counters) Add(o Counters) {
 	c.VotesRejected += o.VotesRejected
 	c.IncrementalPrepare += o.IncrementalPrepare
 	c.FixedPrepare += o.FixedPrepare
+	c.DigestReplies += o.DigestReplies
+	c.DigestMerges += o.DigestMerges
+	c.DeltaMerges += o.DeltaMerges
+	c.MergeFallbacks += o.MergeFallbacks
 }
 
 type updateReq struct {
 	id      uint64
-	state   crdt.State // the merged payload broadcast in MERGE
+	state   crdt.State  // the merged payload broadcast in MERGE
+	digest  crdt.Digest // digest of state (digest/delta transfer only)
+	hasDig  bool
 	acked   map[transport.NodeID]bool
 	done    UpdateDone
 	pending int // remote MERGED replies still needed
@@ -176,6 +202,13 @@ type queryReq struct {
 	denials  map[transport.NodeID]bool    // vote-phase NACKs of the current attempt
 	proposed crdt.State                   // state sent in VOTE
 	gathered crdt.State                   // LUB of every payload seen (retry seed)
+
+	// prepared is the local payload whose digest the current attempt's
+	// PREPARE announced; digest-only ACK/NACK replies resolve to it
+	// (digest equality is state equality).
+	prepared    crdt.State
+	preparedDig crdt.Digest
+	hasPrepared bool
 
 	rtts int
 	done QueryDone
@@ -211,10 +244,33 @@ func NewReplica(id transport.NodeID, members []transport.NodeID, s0 crdt.State, 
 		quorum:  len(members)/2 + 1,
 		opts:    opts,
 		acc:     newAcceptor(s0),
+		xfer:    newTransferState(),
 		updates: make(map[uint64]*updateReq),
 		queries: make(map[uint64]*queryReq),
 		learned: s0,
 	}, nil
+}
+
+// isPeer reports whether id is a configured remote peer. Digest and delta
+// caches are only maintained for configured peers, which bounds them by
+// the membership.
+func (r *Replica) isPeer(id transport.NodeID) bool {
+	for _, p := range r.peers {
+		if p == id {
+			return true
+		}
+	}
+	return false
+}
+
+// ForgetPeer drops every digest/delta transfer assumption held about the
+// given peer: the last state it acknowledged (delta baselines) and the
+// digests of its MERGE payloads merged here. The runtime calls it when it
+// declares a peer down; the caches repopulate as traffic resumes, and a
+// stale assumption would anyway only cost a MERGE-NACK round trip, never
+// correctness.
+func (r *Replica) ForgetPeer(peer transport.NodeID) {
+	r.xfer.forget(peer)
 }
 
 // ID returns the replica's node ID.
@@ -287,13 +343,51 @@ func (r *Replica) SubmitUpdate(fu crdt.Update, done UpdateDone) (uint64, error) 
 		done:    done,
 		pending: r.quorum - 1, // the local acceptor already merged
 	}
+	if r.opts.Transfer != TransferFull {
+		if d, derr := r.xfer.digests.Of(s); derr == nil {
+			req.digest, req.hasDig = d, true
+		}
+	}
 	if req.pending <= 0 {
 		r.completeUpdate(req)
 		return req.id, nil
 	}
 	r.updates[req.id] = req
-	r.broadcast(&message{Type: msgMerge, Req: req.id, State: s})
+	for _, p := range r.peers {
+		r.sendMerge(req, p)
+	}
 	return req.id, nil
+}
+
+// sendMerge ships the update's payload to one peer in the cheapest form
+// the transfer mode and the per-peer view allow: a digest alone when the
+// peer already acknowledged exactly this state, a delta against the last
+// state it acknowledged (delta mode, delta-capable payloads), or the full
+// payload. Full is always safe; the other forms are verified by the
+// receiver against its own digest cache and fall back via MERGE-NACK.
+func (r *Replica) sendMerge(req *updateReq, to transport.NodeID) {
+	if req.hasDig {
+		if view, ok := r.xfer.views[to]; ok {
+			if view.digest == req.digest {
+				r.counters.DigestMerges++
+				r.send(to, &message{Type: msgMerge, Req: req.id, Kind: wire.StateDigest, Digest: req.digest})
+				return
+			}
+			if r.opts.Transfer == TransferDelta && view.state != nil {
+				if ds, ok := req.state.(crdt.DeltaState); ok {
+					if delta, err := ds.Delta(view.state); err == nil {
+						r.counters.DeltaMerges++
+						r.send(to, &message{
+							Type: msgMerge, Req: req.id, Kind: wire.StateDelta,
+							State: delta, Digest: req.digest, Baseline: view.digest,
+						})
+						return
+					}
+				}
+			}
+		}
+	}
+	r.send(to, &message{Type: msgMerge, Req: req.id, State: req.state})
 }
 
 // SubmitQuery starts a query command (Algorithm 2, lines 7-24). done fires
@@ -332,6 +426,7 @@ func (r *Replica) startAttempt(req *queryReq, round Round, seed crdt.State) {
 	req.acks = make(map[transport.NodeID]ackInfo, len(r.peers)+1)
 	req.votes = nil
 	req.proposed = nil
+	req.prepared, req.preparedDig, req.hasPrepared = nil, crdt.Digest{}, false
 	req.rtts++
 
 	r.nextSeq++
@@ -356,7 +451,24 @@ func (r *Replica) startAttempt(req *queryReq, round Round, seed crdt.State) {
 		r.retryQuery(req)
 		return
 	}
-	r.broadcast(&message{Type: msgPrepare, Req: req.id, Attempt: req.attempt, Round: round, State: seed})
+	m := &message{Type: msgPrepare, Req: req.id, Attempt: req.attempt, Round: round, State: seed}
+	if r.opts.Transfer != TransferFull {
+		// Announce the digest of the local post-prepare payload: a remote
+		// acceptor whose payload matches answers with the digest alone,
+		// and onAck resolves it back to req.prepared. The digest is
+		// computed after the local prepare so it covers the seed — the
+		// exact state a converged remote acceptor ends up with.
+		if d, derr := r.xfer.digests.Of(r.acc.state); derr == nil {
+			req.prepared, req.preparedDig, req.hasPrepared = r.acc.state, d, true
+			m.Digest = d
+			if seed == nil {
+				m.Kind = wire.StateDigest
+			} else {
+				m.Kind = wire.StateFullDigest
+			}
+		}
+	}
+	r.broadcast(m)
 
 	// A single-replica cluster decides immediately.
 	r.maybeDecidePrepare(req)
@@ -400,21 +512,115 @@ func (r *Replica) Deliver(from transport.NodeID, payload []byte) {
 		r.onVoted(from, m)
 	case msgNack:
 		r.onNack(from, m)
+	case msgMergeNack:
+		r.onMergeNack(from, m)
 	}
 }
 
 // --- acceptor-side message handling ---
 
 func (r *Replica) onMerge(from transport.NodeID, m *message) {
-	if m.State == nil {
-		r.counters.MalformedMsgs++
-		return
-	}
-	if err := r.acc.handleMerge(m.State); err != nil {
+	// A node tracks per-peer merge digests only when digest transfer is
+	// on locally; a full-mode node still answers digest and delta frames
+	// correctly (safety never depends on the cache), it just recognizes
+	// fewer baselines and forces more full-state fallbacks.
+	track := r.opts.Transfer != TransferFull && r.isPeer(from)
+	switch m.Kind {
+	case wire.StateFull, wire.StateFullDigest:
+		if m.State == nil {
+			r.counters.MalformedMsgs++
+			return
+		}
+		if err := r.acc.handleMerge(m.State); err != nil {
+			r.counters.MalformedMsgs++
+			return
+		}
+		if track && len(m.StateRaw) > 0 {
+			// Fingerprint the sender's state from the wire bytes — the
+			// digest is defined over exactly this encoding.
+			r.xfer.ring(from).add(crdt.DigestOfMarshaled(m.StateRaw))
+		}
+	case wire.StateDigest:
+		// Payload suppressed: the sender believes this acceptor already
+		// holds a state dominating the one with this digest. Verify, or
+		// demand the full payload.
+		if !r.dominates(from, m.Digest, track) {
+			r.send(from, &message{Type: msgMergeNack, Req: m.Req})
+			return
+		}
+	case wire.StateDelta:
+		if m.State == nil {
+			r.counters.MalformedMsgs++
+			return
+		}
+		if r.dominates(from, m.Digest, track) {
+			// The resulting state is already covered here (duplicate or
+			// reordered delta): acknowledge without merging.
+			break
+		}
+		if !r.dominates(from, m.Baseline, track) {
+			// Unknown baseline: merging the delta alone could lose the
+			// part of the sender's state the baseline carried.
+			r.send(from, &message{Type: msgMergeNack, Req: m.Req})
+			return
+		}
+		if err := r.acc.handleMerge(m.State); err != nil {
+			r.counters.MalformedMsgs++
+			return
+		}
+		if track {
+			// baseline ⊔ delta = the sender's full state: merged here, so
+			// its digest is now a recognized baseline for future deltas.
+			r.xfer.ring(from).add(m.Digest)
+		}
+	default:
 		r.counters.MalformedMsgs++
 		return
 	}
 	r.send(from, &message{Type: msgMerged, Req: m.Req})
+}
+
+// dominates reports whether the local payload provably dominates the state
+// with digest d as last shipped by peer from: either that exact state was
+// merged here earlier (the per-peer digest ring — payloads only grow, so
+// once merged, dominated forever) or the local payload IS that state.
+func (r *Replica) dominates(from transport.NodeID, d crdt.Digest, track bool) bool {
+	if d.IsZero() {
+		return false
+	}
+	if ring, ok := r.xfer.seen[from]; ok && ring.contains(d) {
+		return true
+	}
+	if own, err := r.xfer.digests.Of(r.acc.state); err == nil && own == d {
+		if track {
+			r.xfer.ring(from).add(d)
+		}
+		return true
+	}
+	return false
+}
+
+// onMergeNack is the full-state fallback of digest and delta MERGEs: the
+// receiver did not recognize what we assumed it had. Drop the stale view
+// and resend the complete payload.
+func (r *Replica) onMergeNack(from transport.NodeID, m *message) {
+	req, ok := r.updates[m.Req]
+	if !ok && r.retired != nil && r.retired.id == m.Req {
+		// The update answered its client at quorum with this peer's
+		// MERGED outstanding; its payload must still reach the peer, or
+		// the cluster would not converge.
+		req, ok = r.retired, true
+	}
+	if !ok || req.acked[from] {
+		// Stale or duplicated NACK: in particular, don't drop the view —
+		// a duplicate arriving after the fallback's MERGED would wipe the
+		// freshly re-established baseline.
+		r.counters.StaleMsgs++
+		return
+	}
+	delete(r.xfer.views, from)
+	r.counters.MergeFallbacks++
+	r.send(from, &message{Type: msgMerge, Req: req.id, State: req.state})
 }
 
 func (r *Replica) onPrepare(from transport.NodeID, m *message) {
@@ -428,7 +634,18 @@ func (r *Replica) onPrepare(from transport.NodeID, m *message) {
 	} else {
 		r.counters.PreparesRejected++
 	}
-	r.send(from, &message{Type: reply, Req: m.Req, Attempt: m.Attempt, Round: round, State: state})
+	out := &message{Type: reply, Req: m.Req, Attempt: m.Attempt, Round: round, State: state}
+	if m.Kind.HasDigest() && state != nil {
+		// The PREPARE announced the proposer's payload digest. If the
+		// local post-prepare payload matches, the proposer already holds
+		// this exact state: answer with the digest alone (the converged
+		// fast path that makes a quorum read cost O(digest) bytes).
+		if own, derr := r.xfer.digests.Of(state); derr == nil && own == m.Digest {
+			out.State, out.Kind, out.Digest = nil, wire.StateDigest, own
+			r.counters.DigestReplies++
+		}
+	}
+	r.send(from, out)
 }
 
 func (r *Replica) onVote(from transport.NodeID, m *message) {
@@ -450,6 +667,16 @@ func (r *Replica) onVote(from transport.NodeID, m *message) {
 func (r *Replica) onMerged(from transport.NodeID, m *message) {
 	req, ok := r.updates[m.Req]
 	if !ok {
+		if r.retired != nil && r.retired.id == m.Req && !r.retired.acked[from] {
+			// A straggler MERGED for an already-answered update: no client
+			// to notify, but the peer's view still advances.
+			r.retired.acked[from] = true
+			r.noteAcked(r.retired, from)
+			if len(r.retired.acked) >= len(r.peers) {
+				r.retired = nil
+			}
+			return
+		}
 		r.counters.StaleMsgs++
 		return
 	}
@@ -457,11 +684,29 @@ func (r *Replica) onMerged(from transport.NodeID, m *message) {
 		return // duplicate
 	}
 	req.acked[from] = true
+	r.noteAcked(req, from)
 	req.pending--
 	if req.pending <= 0 {
 		delete(r.updates, req.id)
+		if req.hasDig && len(req.acked) < len(r.peers) {
+			r.retired = req
+		}
 		r.completeUpdate(req)
 	}
+}
+
+// noteAcked records that the peer durably merged req.state: any
+// acknowledged state is a sound delta baseline forever (the peer's
+// payload only grows), so it replaces the per-peer view.
+func (r *Replica) noteAcked(req *updateReq, from transport.NodeID) {
+	if !req.hasDig || !r.isPeer(from) {
+		return
+	}
+	view := &peerView{digest: req.digest}
+	if r.opts.Transfer == TransferDelta {
+		view.state = req.state
+	}
+	r.xfer.views[from] = view
 }
 
 func (r *Replica) completeUpdate(req *updateReq) {
@@ -480,12 +725,22 @@ func (r *Replica) onAck(from transport.NodeID, m *message) {
 	if _, dup := req.acks[from]; dup {
 		return
 	}
-	if m.State == nil {
+	state := m.State
+	if m.Kind == wire.StateDigest {
+		// Digest-only ACK: the acceptor's state equals the one whose
+		// digest our PREPARE announced — resolve it locally.
+		if !req.hasPrepared || m.Digest != req.preparedDig {
+			r.counters.MalformedMsgs++
+			return
+		}
+		state = req.prepared
+	}
+	if state == nil {
 		r.counters.MalformedMsgs++
 		return
 	}
-	req.acks[from] = ackInfo{round: m.Round, state: m.State}
-	req.gathered = r.mergeGathered(req.gathered, m.State)
+	req.acks[from] = ackInfo{round: m.Round, state: state}
+	req.gathered = r.mergeGathered(req.gathered, state)
 	r.maybeDecidePrepare(req)
 }
 
@@ -497,8 +752,20 @@ func (r *Replica) maybeDecidePrepare(req *queryReq) {
 		return
 	}
 	states := make([]crdt.State, 0, len(req.acks))
+	identical := true
 	for _, a := range req.acks {
+		if len(states) > 0 && a.state != states[0] {
+			identical = false
+		}
 		states = append(states, a.state)
+	}
+	if identical {
+		// Every ACK resolved to the same state value — the norm under
+		// digest transfer, where digest-only ACKs all resolve to the
+		// prepared state. Trivially a consistent quorum: skip the O(n)
+		// merge-and-compare sweep.
+		r.finishQuery(req, states[0], LearnConsistentQuorum)
+		return
 	}
 	lub, err := crdt.MergeAll(states...)
 	if err != nil {
@@ -598,7 +865,11 @@ func (r *Replica) onNack(from transport.NodeID, m *message) {
 	// quorum of ACK or VOTED messages must retry, with an incremental
 	// prepare seeded with the LUB of every payload received so far (this
 	// is what makes the retry loop converge, §3.5).
-	req.gathered = r.mergeGathered(req.gathered, m.State)
+	state := m.State
+	if m.Kind == wire.StateDigest && req.hasPrepared && m.Digest == req.preparedDig {
+		state = req.prepared // digest-only NACK: the acceptor holds our prepared state
+	}
+	req.gathered = r.mergeGathered(req.gathered, state)
 	switch req.phase {
 	case phasePrepare:
 		// A prepare NACK (fixed prepare below the acceptor's round) dooms
@@ -656,9 +927,11 @@ func (r *Replica) finishQuery(req *queryReq, learned crdt.State, path LearnPath)
 
 // Retransmit re-drives an in-flight request after a runtime timeout,
 // covering message loss. Updates re-broadcast MERGE to acceptors that have
-// not acknowledged (idempotent: merge is). Queries restart with a fresh
-// incremental prepare, which is always safe (§3.2) — replies to the stale
-// attempt are discarded by the attempt check.
+// not acknowledged (idempotent: merge is) — always as the full payload,
+// since a lost digest or delta frame is indistinguishable from a receiver
+// that could not use it. Queries restart with a fresh incremental prepare,
+// which is always safe (§3.2) — replies to the stale attempt are discarded
+// by the attempt check.
 func (r *Replica) Retransmit(reqID uint64) {
 	if req, ok := r.updates[reqID]; ok {
 		for _, p := range r.peers {
@@ -670,6 +943,23 @@ func (r *Replica) Retransmit(reqID uint64) {
 	}
 	if req, ok := r.queries[reqID]; ok {
 		r.retryQuery(req)
+	}
+}
+
+// RetransmitAll re-drives every in-flight request in request-ID order.
+// Deterministic runtimes (the interleaving checker) use it in place of
+// per-request timers when the network goes quiescent under loss.
+func (r *Replica) RetransmitAll() {
+	ids := make([]uint64, 0, len(r.updates)+len(r.queries))
+	for id := range r.updates {
+		ids = append(ids, id)
+	}
+	for id := range r.queries {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		r.Retransmit(id)
 	}
 }
 

@@ -158,10 +158,25 @@ func (m *LWWMap) Delete(key string, ts uint64, actor string) *LWWMap {
 
 func (m *LWWMap) put(key string, e lwwMapEntry) *LWWMap {
 	out := m.clone()
-	if cur, ok := out.entries[key]; !ok || stampLess(cur.ts, cur.actor, e.ts, e.actor) {
+	if cur, ok := out.entries[key]; !ok || cur.less(e) {
 		out.entries[key] = e
 	}
 	return out
+}
+
+// less orders entries totally: stamp first, then the tombstone flag
+// (delete wins a stamp tie), then the value. A total order per key keeps
+// Merge commutative even when two writes (mis)use the same stamp for
+// different contents, and keeps Compare-equivalence aligned with what Get
+// observes — the contract the state digests depend on.
+func (e lwwMapEntry) less(o lwwMapEntry) bool {
+	if e.ts != o.ts || e.actor != o.actor {
+		return stampLess(e.ts, e.actor, o.ts, o.actor)
+	}
+	if e.deleted != o.deleted {
+		return !e.deleted
+	}
+	return e.val < o.val
 }
 
 // Get returns the live value for key.
@@ -212,14 +227,14 @@ func (m *LWWMap) Merge(other State) (State, error) {
 	}
 	out := m.clone()
 	for k, e := range o.entries {
-		if cur, ok := out.entries[k]; !ok || stampLess(cur.ts, cur.actor, e.ts, e.actor) {
+		if cur, ok := out.entries[k]; !ok || cur.less(e) {
 			out.entries[k] = e
 		}
 	}
 	return out, nil
 }
 
-// Compare is pointwise stamp ≤ over the keys of the receiver.
+// Compare is pointwise entry ≤ over the keys of the receiver.
 func (m *LWWMap) Compare(other State) (bool, error) {
 	o, ok := other.(*LWWMap)
 	if !ok {
@@ -230,10 +245,7 @@ func (m *LWWMap) Compare(other State) (bool, error) {
 		if !ok {
 			return false, nil
 		}
-		if e.ts == oe.ts && e.actor == oe.actor {
-			continue
-		}
-		if !stampLess(e.ts, e.actor, oe.ts, oe.actor) {
+		if e != oe && !e.less(oe) {
 			return false, nil
 		}
 	}

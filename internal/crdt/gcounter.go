@@ -110,6 +110,35 @@ func (c *GCounter) IncDelta(replica string, n uint64) *GCounter {
 	return &GCounter{slots: map[string]uint64{replica: c.slots[replica] + n}}
 }
 
+var _ DeltaState = (*GCounter)(nil)
+
+// Delta implements DeltaState: the join decomposition of the counter
+// against base is the set of slots whose value base is missing. The delta
+// carries the receiver's full slot value (join is max), so merging it into
+// any state dominating base reconstructs the receiver's contribution.
+func (c *GCounter) Delta(base State) (State, error) {
+	b, ok := base.(*GCounter)
+	if !ok {
+		return nil, typeMismatch(c, base)
+	}
+	out := &GCounter{slots: map[string]uint64{}}
+	for k, v := range c.slots {
+		bv := b.slots[k]
+		if bv > v {
+			return nil, errNotDominated(c)
+		}
+		if v > bv {
+			out.slots[k] = v
+		}
+	}
+	for k, bv := range b.slots {
+		if bv > c.slots[k] {
+			return nil, errNotDominated(c)
+		}
+	}
+	return out, nil
+}
+
 func typeMismatch(want State, got State) error {
 	return fmt.Errorf("%w: have %s, got %s", ErrTypeMismatch, want.TypeName(), got.TypeName())
 }

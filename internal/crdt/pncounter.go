@@ -99,3 +99,22 @@ func (c *PNCounter) UnmarshalBinary(data []byte) error {
 func (c *PNCounter) String() string {
 	return fmt.Sprintf("PNCounter(%d)", c.Value())
 }
+
+var _ DeltaState = (*PNCounter)(nil)
+
+// Delta implements DeltaState component-wise over the product lattice.
+func (c *PNCounter) Delta(base State) (State, error) {
+	b, ok := base.(*PNCounter)
+	if !ok {
+		return nil, typeMismatch(c, base)
+	}
+	p, err := c.p.Delta(b.p)
+	if err != nil {
+		return nil, err
+	}
+	n, err := c.n.Delta(b.n)
+	if err != nil {
+		return nil, err
+	}
+	return &PNCounter{p: p.(*GCounter), n: n.(*GCounter)}, nil
+}

@@ -123,26 +123,32 @@ func (r *LWWRegister) Value() (val string, ts uint64, actor string) {
 	return r.val, r.ts, r.actor
 }
 
-// Merge keeps the entry with the larger (ts, actor) stamp.
+// Merge keeps the entry with the larger (ts, actor, val) key. The value is
+// the final tiebreak: two writes that (mis)used the same stamp for
+// different values would otherwise merge receiver-biased, breaking
+// commutativity — and equivalence-by-Compare would disagree with the
+// value a query returns.
 func (r *LWWRegister) Merge(other State) (State, error) {
 	o, ok := other.(*LWWRegister)
 	if !ok {
 		return nil, typeMismatch(r, other)
 	}
-	if stampLess(r.ts, r.actor, o.ts, o.actor) {
+	if stampLess(r.ts, r.actor, o.ts, o.actor) ||
+		(r.ts == o.ts && r.actor == o.actor && r.val < o.val) {
 		return &LWWRegister{val: o.val, ts: o.ts, actor: o.actor}, nil
 	}
 	return &LWWRegister{val: r.val, ts: r.ts, actor: r.actor}, nil
 }
 
-// Compare is ≤ on (ts, actor) stamps.
+// Compare is ≤ on (ts, actor, val) keys — a total order, so any two
+// registers are comparable and the join is simply the maximum.
 func (r *LWWRegister) Compare(other State) (bool, error) {
 	o, ok := other.(*LWWRegister)
 	if !ok {
 		return false, typeMismatch(r, other)
 	}
 	if r.ts == o.ts && r.actor == o.actor {
-		return true, nil
+		return r.val <= o.val, nil
 	}
 	return stampLess(r.ts, r.actor, o.ts, o.actor), nil
 }
@@ -271,7 +277,12 @@ func (r *MVRegister) Merge(other State) (State, error) {
 	return &MVRegister{entries: kept}, nil
 }
 
-// Compare is entry-wise dominance.
+// Compare is entry-wise dominance: every entry must be strictly dominated
+// by, or identical to, some entry of other. Identity requires the value as
+// well as the clock — an entry with the same clock but a different value
+// is a concurrent sibling, not a cover, and Merge retains both. (A
+// non-strict clock-only check would call states with different surviving
+// values "equivalent", breaking digest equality ⇔ state equality.)
 func (r *MVRegister) Compare(other State) (bool, error) {
 	o, ok := other.(*MVRegister)
 	if !ok {
@@ -281,7 +292,8 @@ func (r *MVRegister) Compare(other State) (bool, error) {
 		found := false
 		for _, f := range o.entries {
 			le, _ := e.vc.Compare(f.vc)
-			if le {
+			ge, _ := f.vc.Compare(e.vc)
+			if (le && !ge) || (le && ge && e.val == f.val) {
 				found = true
 				break
 			}

@@ -395,3 +395,40 @@ func (s *ORSet) UnmarshalBinary(data []byte) error {
 
 // String renders the set for logs and test failures.
 func (s *ORSet) String() string { return fmt.Sprintf("ORSet%v", s.Elements()) }
+
+var _ DeltaState = (*ORSet)(nil)
+
+// Delta implements DeltaState: the (element, tag) pairs and tombstones the
+// baseline is missing. A converged workload's add or remove produces a
+// delta of one tag, independent of how large the set has grown.
+func (s *ORSet) Delta(base State) (State, error) {
+	b, ok := base.(*ORSet)
+	if !ok {
+		return nil, typeMismatch(s, base)
+	}
+	if le, err := b.Compare(s); err != nil {
+		return nil, err
+	} else if !le {
+		return nil, errNotDominated(s)
+	}
+	out := NewORSet()
+	for e, tags := range s.adds {
+		btags := b.adds[e]
+		for tag := range tags {
+			if _, ok := btags[tag]; !ok {
+				dst, ok := out.adds[e]
+				if !ok {
+					dst = map[string]struct{}{}
+					out.adds[e] = dst
+				}
+				dst[tag] = struct{}{}
+			}
+		}
+	}
+	for tag := range s.tombs {
+		if _, ok := b.tombs[tag]; !ok {
+			out.tombs[tag] = struct{}{}
+		}
+	}
+	return out, nil
+}

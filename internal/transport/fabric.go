@@ -20,7 +20,9 @@ type Fabric struct {
 	down    map[NodeID]bool
 	blocks  map[[2]NodeID]bool
 	loss    float64
+	dup     float64
 	stats   Stats
+	links   linkTable
 }
 
 type pendingMsg struct {
@@ -40,6 +42,12 @@ func NewFabric(seed int64) *Fabric {
 
 // SetLoss drops each delivered message with probability p at Step time.
 func (f *Fabric) SetLoss(p float64) { f.loss = p }
+
+// SetDuplication re-enqueues each delivered message with probability p at
+// Step time, so it is delivered again later (and may be duplicated again).
+// Together with the scheduler's random delivery order this exercises the
+// at-least-once message model the protocols must tolerate.
+func (f *Fabric) SetDuplication(p float64) { f.dup = p }
 
 // Join registers a node.
 func (f *Fabric) Join(id NodeID, h Handler) *FabricConn {
@@ -80,8 +88,12 @@ func (f *Fabric) Step() bool {
 			f.stats.Dropped++
 			continue
 		}
+		if f.dup > 0 && f.rng.Float64() < f.dup {
+			f.pending = append(f.pending, msg)
+		}
 		f.stats.Delivered++
 		f.stats.Bytes += uint64(len(msg.payload))
+		f.links.delivered(msg.from, msg.to, len(msg.payload))
 		h(msg.from, msg.payload)
 		return true
 	}
@@ -110,7 +122,11 @@ func (f *Fabric) Drain(bound int) int {
 }
 
 // Stats returns the fabric's counters.
-func (f *Fabric) Stats() Stats { return f.stats }
+func (f *Fabric) Stats() Stats {
+	out := f.stats
+	out.Links = f.links.snapshot()
+	return out
+}
 
 // FabricConn is a node's endpoint into a Fabric.
 type FabricConn struct {
@@ -127,6 +143,8 @@ func (c *FabricConn) ID() NodeID { return c.id }
 // by a future Step.
 func (c *FabricConn) Send(to NodeID, payload []byte) {
 	c.fabric.stats.Sent++
+	c.fabric.stats.BytesSent += uint64(len(payload))
+	c.fabric.links.sent(c.id, to, len(payload))
 	c.fabric.pending = append(c.fabric.pending, pendingMsg{from: c.id, to: to, payload: payload})
 }
 

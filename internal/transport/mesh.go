@@ -31,6 +31,8 @@ type Mesh struct {
 	delivered atomic.Uint64
 	dropped   atomic.Uint64
 	bytes     atomic.Uint64
+	bytesSent atomic.Uint64
+	links     linkTable
 }
 
 type meshConfig struct {
@@ -165,6 +167,8 @@ func (m *Mesh) Stats() Stats {
 		Delivered: m.delivered.Load(),
 		Dropped:   m.dropped.Load(),
 		Bytes:     m.bytes.Load(),
+		BytesSent: m.bytesSent.Load(),
+		Links:     m.links.snapshot(),
 	}
 }
 
@@ -188,6 +192,8 @@ func (m *Mesh) Close() {
 
 func (m *Mesh) route(from, to NodeID, payload []byte) {
 	m.sent.Add(1)
+	m.bytesSent.Add(uint64(len(payload)))
+	m.links.sent(from, to, len(payload))
 	m.mu.RLock()
 	dst, ok := m.eps[to]
 	deliverable := ok && !m.closed && !m.down[from] && !m.down[to] && !m.blocks[[2]NodeID{from, to}]
@@ -289,6 +295,7 @@ func (c *MeshConn) deliverLoop() {
 		case msg := <-c.inbox:
 			c.mesh.delivered.Add(1)
 			c.mesh.bytes.Add(uint64(len(msg.payload)))
+			c.mesh.links.delivered(msg.from, c.id, len(msg.payload))
 			c.handler(msg.from, msg.payload)
 		}
 	}

@@ -34,6 +34,8 @@ type TCP struct {
 	delivered atomic.Uint64
 	dropped   atomic.Uint64
 	bytes     atomic.Uint64
+	bytesSent atomic.Uint64
+	links     linkTable
 }
 
 var _ Conn = (*TCP)(nil)
@@ -80,6 +82,8 @@ func (t *TCP) ID() NodeID { return t.id }
 // goroutine to preserve non-blocking semantics.
 func (t *TCP) Send(to NodeID, payload []byte) {
 	t.sent.Add(1)
+	t.bytesSent.Add(uint64(len(payload)))
+	t.links.sent(t.id, to, len(payload))
 	if to == t.id {
 		msg := make([]byte, len(payload))
 		copy(msg, payload)
@@ -91,6 +95,7 @@ func (t *TCP) Send(to NodeID, payload []byte) {
 			default:
 				t.delivered.Add(1)
 				t.bytes.Add(uint64(len(msg)))
+				t.links.delivered(t.id, t.id, len(msg))
 				t.handler(t.id, msg)
 			}
 		}()
@@ -107,13 +112,16 @@ func (t *TCP) Send(to NodeID, payload []byte) {
 	}
 }
 
-// Stats returns the endpoint's counters.
+// Stats returns the endpoint's counters. Links covers the links this
+// endpoint terminates: outbound (From == ID) and inbound (To == ID).
 func (t *TCP) Stats() Stats {
 	return Stats{
 		Sent:      t.sent.Load(),
 		Delivered: t.delivered.Load(),
 		Dropped:   t.dropped.Load(),
 		Bytes:     t.bytes.Load(),
+		BytesSent: t.bytesSent.Load(),
+		Links:     t.links.snapshot(),
 	}
 }
 
@@ -261,6 +269,7 @@ func (t *TCP) readLoop(conn net.Conn) {
 		payload := frame[n+int(fromLen):]
 		t.delivered.Add(1)
 		t.bytes.Add(uint64(len(payload)))
+		t.links.delivered(from, t.id, len(payload))
 		t.handler(from, payload)
 	}
 }

@@ -437,3 +437,139 @@ func TestTCPPeerCrashDropsThenRecovers(t *testing.T) {
 		return gotB.Load() >= 2
 	})
 }
+
+// --- per-link byte accounting, one test per substrate ---
+
+func TestMeshByteStatsPerLink(t *testing.T) {
+	m := NewMesh()
+	defer m.Close()
+	var got collect
+	a := m.Join("a", func(NodeID, []byte) {})
+	b := m.Join("b", got.handler)
+	a.Send("b", make([]byte, 100))
+	a.Send("b", make([]byte, 50))
+	b.Send("a", make([]byte, 7))
+	waitFor(t, func() bool { st := m.Stats(); return st.Delivered == 3 })
+	st := m.Stats()
+	if st.BytesSent != 157 || st.Bytes != 157 {
+		t.Fatalf("bytes sent/delivered = %d/%d, want 157/157", st.BytesSent, st.Bytes)
+	}
+	ab := st.Links[Link{From: "a", To: "b"}]
+	if ab.Sent != 2 || ab.BytesSent != 150 || ab.Delivered != 2 || ab.BytesDelivered != 150 {
+		t.Fatalf("a→b link = %+v", ab)
+	}
+	ba := st.Links[Link{From: "b", To: "a"}]
+	if ba.Sent != 1 || ba.BytesSent != 7 || ba.BytesDelivered != 7 {
+		t.Fatalf("b→a link = %+v", ba)
+	}
+}
+
+func TestMeshByteStatsCountSendOnDrop(t *testing.T) {
+	m := NewMesh()
+	defer m.Close()
+	a := m.Join("a", func(NodeID, []byte) {})
+	m.Join("b", func(NodeID, []byte) {})
+	m.SetDown("b", true)
+	a.Send("b", make([]byte, 64))
+	waitFor(t, func() bool { return m.Stats().Dropped == 1 })
+	st := m.Stats()
+	if st.BytesSent != 64 || st.Bytes != 0 {
+		t.Fatalf("bytes sent/delivered = %d/%d, want 64/0", st.BytesSent, st.Bytes)
+	}
+	l := st.Links[Link{From: "a", To: "b"}]
+	if l.BytesSent != 64 || l.BytesDelivered != 0 {
+		t.Fatalf("a→b link = %+v", l)
+	}
+}
+
+func TestFabricByteStatsPerLink(t *testing.T) {
+	f := NewFabric(3)
+	a := f.Join("a", func(NodeID, []byte) {})
+	b := f.Join("b", func(NodeID, []byte) {})
+	a.Send("b", make([]byte, 20))
+	b.Send("a", make([]byte, 5))
+	f.Drain(10)
+	st := f.Stats()
+	if st.BytesSent != 25 || st.Bytes != 25 {
+		t.Fatalf("bytes sent/delivered = %d/%d, want 25/25", st.BytesSent, st.Bytes)
+	}
+	ab := st.Links[Link{From: "a", To: "b"}]
+	if ab.Sent != 1 || ab.BytesSent != 20 || ab.Delivered != 1 || ab.BytesDelivered != 20 {
+		t.Fatalf("a→b link = %+v", ab)
+	}
+}
+
+func TestFabricDuplication(t *testing.T) {
+	f := NewFabric(11)
+	f.SetDuplication(0.5)
+	got := 0
+	a := f.Join("a", func(NodeID, []byte) {})
+	f.Join("b", func(NodeID, []byte) { got++ })
+	const n = 200
+	for i := 0; i < n; i++ {
+		a.Send("b", []byte("x"))
+	}
+	f.Drain(10 * n)
+	if got <= n || got >= 3*n {
+		t.Fatalf("delivered %d of %d sends with dup=0.5, want strictly more than sent", got, n)
+	}
+	if int(f.Stats().Delivered) != got {
+		t.Fatalf("stats delivered %d != handler count %d", f.Stats().Delivered, got)
+	}
+}
+
+func TestFabricDuplicationDeterministic(t *testing.T) {
+	run := func() uint64 {
+		f := NewFabric(21)
+		f.SetDuplication(0.3)
+		a := f.Join("a", func(NodeID, []byte) {})
+		f.Join("b", func(NodeID, []byte) {})
+		for i := 0; i < 100; i++ {
+			a.Send("b", []byte("x"))
+		}
+		f.Drain(10000)
+		return f.Stats().Delivered
+	}
+	if first, second := run(), run(); first != second {
+		t.Fatalf("same seed diverged under duplication: %d vs %d", first, second)
+	}
+}
+
+func TestTCPByteStatsPerLink(t *testing.T) {
+	var gotB collect
+	b, err := NewTCP("b", "127.0.0.1:0", nil, gotB.handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a, err := NewTCP("a", "127.0.0.1:0", map[NodeID]string{"b": b.Addr()}, func(NodeID, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.Send("b", make([]byte, 40))
+	a.Send("b", make([]byte, 2))
+	waitFor(t, func() bool { return gotB.len() == 2 })
+
+	sa := a.Stats()
+	if sa.BytesSent != 42 {
+		t.Fatalf("a bytes sent = %d, want 42", sa.BytesSent)
+	}
+	if l := sa.Links[Link{From: "a", To: "b"}]; l.Sent != 2 || l.BytesSent != 42 {
+		t.Fatalf("a's a→b link = %+v", l)
+	}
+	sb := b.Stats()
+	if sb.Bytes != 42 {
+		t.Fatalf("b bytes delivered = %d, want 42", sb.Bytes)
+	}
+	if l := sb.Links[Link{From: "a", To: "b"}]; l.Delivered != 2 || l.BytesDelivered != 42 {
+		t.Fatalf("b's a→b link = %+v", l)
+	}
+
+	// Loopback counts on both sides of the same endpoint.
+	a.Send("a", make([]byte, 9))
+	waitFor(t, func() bool { return a.Stats().Delivered == 1 })
+	if l := a.Stats().Links[Link{From: "a", To: "a"}]; l.BytesSent != 9 || l.BytesDelivered != 9 {
+		t.Fatalf("loopback link = %+v", l)
+	}
+}

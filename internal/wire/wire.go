@@ -55,6 +55,10 @@ func (w *Writer) Raw(p []byte) {
 	w.b = append(w.b, p...)
 }
 
+// Fixed appends p without a length prefix, for fields of statically known
+// width (e.g. state digests).
+func (w *Writer) Fixed(p []byte) { w.b = append(w.b, p...) }
+
 // Reader decodes a wire-encoded message produced by Writer.
 type Reader struct {
 	b   []byte
@@ -82,6 +86,13 @@ func (r *Reader) Done() error {
 func (r *Reader) fail() {
 	if r.err == nil {
 		r.err = ErrTruncated
+	}
+}
+
+// failf records a formatted decode error (first error wins).
+func (r *Reader) failf(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
 	}
 }
 
@@ -149,6 +160,16 @@ func (r *Reader) Rest() []byte {
 	p := r.b
 	r.b = nil
 	return p
+}
+
+// Fixed reads len(dst) bytes into dst (no length prefix).
+func (r *Reader) Fixed(dst []byte) {
+	if r.err != nil || len(r.b) < len(dst) {
+		r.fail()
+		return
+	}
+	copy(dst, r.b[:len(dst)])
+	r.b = r.b[len(dst):]
 }
 
 // Raw reads a length-prefixed byte slice. The returned slice is a copy.
