@@ -35,20 +35,32 @@ func startServedCluster(t *testing.T, n int, seed int64, requestTimeout time.Dur
 // startServedClusterMode is startServedCluster with an explicit replica
 // wire state-transfer mode (the chaos sweep runs with deltas on).
 func startServedClusterMode(t *testing.T, n int, seed int64, requestTimeout time.Duration, mode core.StateTransfer) *servedCluster {
+	return startServedClusterWith(t, n, seed, requestTimeout, func(cfg *cluster.Config) {
+		cfg.StateTransfer = mode
+	})
+}
+
+// startServedClusterWith is the fully general form: customize edits the
+// cluster config before the nodes start (state-transfer mode, a DataDir
+// for the crash/restart tests, ...).
+func startServedClusterWith(t *testing.T, n int, seed int64, requestTimeout time.Duration, customize func(*cluster.Config)) *servedCluster {
 	t.Helper()
 	mesh := transport.NewMesh(transport.WithSeed(seed))
 	ids := make([]transport.NodeID, n)
 	for i := range ids {
 		ids[i] = transport.NodeID(fmt.Sprintf("n%d", i+1))
 	}
-	cl, err := cluster.New(mesh, cluster.Config{
+	cfg := cluster.Config{
 		Members:            ids,
 		Initial:            crdt.NewGCounter(),
 		InitialForKey:      server.TypedKeyInitial(crdt.TypeGCounter),
 		Options:            core.DefaultOptions(),
-		StateTransfer:      mode,
 		RetransmitInterval: 20 * time.Millisecond,
-	})
+	}
+	if customize != nil {
+		customize(&cfg)
+	}
+	cl, err := cluster.New(mesh, cfg)
 	if err != nil {
 		mesh.Close()
 		t.Fatal(err)

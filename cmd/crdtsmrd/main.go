@@ -23,6 +23,12 @@
 //
 // The client CLI accepts several -addrs and fails over between them, so
 // any single replica may be down.
+//
+// With -data-dir, a replica snapshots every object's CRDT payload and
+// consensus metadata to disk after each durable transition — log-free
+// recovery per the paper: kill -9 the process, re-exec it with the same
+// -data-dir, and it serves its pre-crash data (see the README's
+// crash-recovery quickstart and docs/PROTOCOL.md §4 for the file format).
 package main
 
 import (
@@ -41,6 +47,7 @@ import (
 	"crdtsmr/internal/cluster"
 	"crdtsmr/internal/core"
 	"crdtsmr/internal/crdt"
+	"crdtsmr/internal/persist"
 	"crdtsmr/internal/server"
 	"crdtsmr/internal/transport"
 )
@@ -91,6 +98,9 @@ func serve(args []string) error {
 	batch := fs.Duration("batch", 0, "per-key batching window (0 disables; the paper evaluated 5ms)")
 	payload := fs.String("payload", crdt.TypeGCounter, "CRDT type of keys without a type prefix")
 	transfer := fs.String("state-transfer", "full", "replica-wire state transfer: full, digest, or delta (docs/PROTOCOL.md §3; use one mode cluster-wide)")
+	dataDir := fs.String("data-dir", "", "snapshot directory for crash recovery; a killed replica re-exec'd with the same directory serves its pre-crash data (empty: volatile)")
+	recoverFlag := fs.String("recover", "strict", "corrupt-snapshot policy at startup: strict (refuse to start) or ignore-corrupt (affected keys start fresh and re-learn from the cluster)")
+	fsync := fs.Bool("fsync", false, "fsync every snapshot write (survives power loss, not just process death)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -104,6 +114,14 @@ func serve(args []string) error {
 	mode, err := core.ParseStateTransfer(*transfer)
 	if err != nil {
 		return fmt.Errorf("-state-transfer: %w", err)
+	}
+	recoverPolicy, err := persist.ParseRecoverPolicy(*recoverFlag)
+	if err != nil {
+		return fmt.Errorf("-recover: %w", err)
+	}
+	syncPolicy := persist.SyncNone
+	if *fsync {
+		syncPolicy = persist.SyncAlways
 	}
 
 	peers := map[transport.NodeID]string{}
@@ -128,6 +146,9 @@ func serve(args []string) error {
 		Options:       core.DefaultOptions(),
 		BatchInterval: *batch,
 		StateTransfer: mode,
+		DataDir:       *dataDir,
+		PersistSync:   syncPolicy,
+		Recover:       recoverPolicy,
 	}, func(nid transport.NodeID, h transport.Handler) transport.Conn {
 		remote := map[transport.NodeID]string{}
 		for p, a := range peers {
@@ -162,8 +183,15 @@ func serve(args []string) error {
 		return err
 	}
 	defer srv.Close()
-	fmt.Printf("replica %s up: mesh %s, clients %s, default payload %s, state transfer %s\n",
-		*id, *listen, srv.Addr(), *payload, mode)
+	durability := "volatile (no -data-dir)"
+	if *dataDir != "" {
+		durability = "snapshots in " + *dataDir
+		if skipped := node.SkippedSnapshots(); skipped > 0 {
+			fmt.Fprintf(os.Stderr, "crdtsmrd: warning: skipped %d corrupt snapshot(s) under -recover=ignore-corrupt; affected keys re-learn from the cluster\n", skipped)
+		}
+	}
+	fmt.Printf("replica %s up: mesh %s, clients %s, default payload %s, state transfer %s, %s\n",
+		*id, *listen, srv.Addr(), *payload, mode, durability)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

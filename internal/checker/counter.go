@@ -2,6 +2,7 @@ package checker
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 )
@@ -74,6 +75,25 @@ func (h *History) Discard(id int) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	delete(h.open, id)
+}
+
+// Abandon closes a still-open operation whose fate is unknown — e.g. an
+// increment in flight at a replica that crashed. The op is recorded with
+// an unbounded return time (Jepsen's :info convention), so the checker
+// must allow it to take effect at any later point, or never: it can raise
+// a read's upper bound but never contributes to a lower bound. Use
+// Discard instead for operations whose effects are provably absent (reads
+// always qualify).
+func (h *History) Abandon(id int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	op, ok := h.open[id]
+	if !ok {
+		return
+	}
+	delete(h.open, id)
+	op.Return = math.MaxInt64
+	h.ops = append(h.ops, *op)
 }
 
 // Clock returns the current logical time.

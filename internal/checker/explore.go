@@ -3,6 +3,7 @@ package checker
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"crdtsmr/internal/core"
 	"crdtsmr/internal/crdt"
@@ -27,6 +28,17 @@ type ExploreConfig struct {
 	// continues.
 	Loss        float64
 	Duplication float64
+
+	// Crashes injects that many crash/restart events, spread across the
+	// injection phase at seeded points: a replica (chosen by a dedicated
+	// RNG, so the injection schedule stays identical to a crash-free run
+	// of the same seed) is replaced by a fresh one rehydrated from its
+	// latest snapshot — the in-memory model of cluster.Restart with a
+	// -data-dir. Snapshots are maintained after every state-changing
+	// action, mirroring the runtime's persist-before-send rule. The
+	// crashed replica's in-flight updates are recorded as fate-unknown
+	// (History.Abandon) and its in-flight queries discarded.
+	Crashes int
 }
 
 // QueryObs is one completed query: its real-time interval and learned state.
@@ -49,6 +61,8 @@ type ExploreResult struct {
 	FinalValue       uint64        // converged counter value after the drain
 	Retransmits      int           // quiescent-with-in-flight retransmit rounds
 	Counters         core.Counters // summed protocol counters of all replicas
+	Restarts         int           // crash/restart events injected
+	Abandoned        int           // in-flight updates whose fate a crash made unknown
 }
 
 // Explore runs a cluster of core replicas over a deterministic fabric,
@@ -111,13 +125,23 @@ func Explore(cfg ExploreConfig) (*ExploreResult, error) {
 	hist := NewHistory()
 	updatesSubmitted := 0
 
+	// Per-replica open operations: a crash must settle the history ops of
+	// the requests it kills (updates become fate-unknown, reads vanish).
+	openOps := make(map[transport.NodeID]map[int]OpKind, len(members))
+	for _, id := range members {
+		openOps[id] = make(map[int]OpKind)
+	}
+
 	inject := func() {
 		id := members[rng.Intn(len(members))]
 		rep := replicas[id]
+		open := openOps[id]
 		if rng.Float64() < cfg.ReadRatio {
 			opID := hist.Begin(OpRead)
+			open[opID] = OpRead
 			invoke := hist.Clock()
 			rep.SubmitQuery(func(s crdt.State, stats core.QueryStats, err error) {
+				delete(open, opID)
 				if err != nil {
 					hist.Discard(opID)
 					return
@@ -136,11 +160,13 @@ func Explore(cfg ExploreConfig) (*ExploreResult, error) {
 			})
 		} else {
 			opID := hist.Begin(OpInc)
+			open[opID] = OpInc
 			updatesSubmitted++
 			slot := string(id)
 			_, err := rep.SubmitUpdate(func(s crdt.State) (crdt.State, error) {
 				return s.(*crdt.GCounter).Inc(slot, 1), nil
 			}, func(stats core.UpdateStats, err error) {
+				delete(open, opID)
 				if err != nil {
 					hist.Discard(opID)
 					return
@@ -149,10 +175,76 @@ func Explore(cfg ExploreConfig) (*ExploreResult, error) {
 				hist.End(opID, 0)
 			})
 			if err != nil {
+				delete(open, opID)
 				hist.Discard(opID)
 			}
 		}
 		flush(id)
+	}
+
+	// Snapshot maintenance, modeling the runtime's persist-on-transition
+	// rule: after every scheduler action, any replica whose durable state
+	// advanced gets its in-memory snapshot refreshed — so a crash always
+	// restores exactly the state the replica held, including every update
+	// it applied locally (which is what makes convergence to the full
+	// submitted count survive crashes even under message loss).
+	snaps := make(map[transport.NodeID]core.Snapshot, len(members))
+	savedVersion := make(map[transport.NodeID]uint64, len(members))
+	persistAll := func() {
+		for _, id := range members {
+			if v := replicas[id].StateVersion(); v != savedVersion[id] || snaps[id].State == nil {
+				snaps[id] = replicas[id].Snapshot()
+				savedVersion[id] = v
+			}
+		}
+	}
+	persistAll()
+
+	// Crash scheduling: a dedicated RNG and injected-op-count thresholds
+	// keep the command schedule (and therefore UpdatesSubmitted) exactly
+	// identical to a crash-free run of the same seed. The thresholds are
+	// a sorted queue (clamped to ≥1, duplicates kept) so exactly
+	// cfg.Crashes events fire even when integer division collides — e.g.
+	// Crashes close to or exceeding Ops.
+	crashRng := rand.New(rand.NewSource(cfg.Seed + 2))
+	crashQueue := make([]int, 0, cfg.Crashes)
+	for i := 1; i <= cfg.Crashes; i++ {
+		pos := cfg.Ops * i / (cfg.Crashes + 1)
+		if pos < 1 {
+			pos = 1
+		}
+		crashQueue = append(crashQueue, pos)
+	}
+	crash := func() {
+		id := members[crashRng.Intn(len(members))]
+		// Settle the history: killed updates have unknown fate (their
+		// local effect is durable, but without a proposer to retransmit,
+		// reaching a quorum is not guaranteed); killed reads have none.
+		opIDs := make([]int, 0, len(openOps[id]))
+		for opID := range openOps[id] {
+			opIDs = append(opIDs, opID)
+		}
+		sort.Ints(opIDs) // map order would make the history nondeterministic
+		for _, opID := range opIDs {
+			if openOps[id][opID] == OpInc {
+				hist.Abandon(opID)
+				res.Abandoned++
+			} else {
+				hist.Discard(opID)
+			}
+		}
+		openOps[id] = make(map[int]OpKind)
+		rep, err := core.NewReplica(id, members, crdt.NewGCounter(), cfg.Options)
+		if err != nil {
+			panic(err) // NewReplica succeeded for this id at setup
+		}
+		if err := rep.Restore(snaps[id]); err != nil {
+			panic(err) // snapshot came from an identically configured replica
+		}
+		replicas[id] = rep
+		savedVersion[id] = rep.StateVersion()
+		snaps[id] = rep.Snapshot()
+		res.Restarts++
 	}
 
 	inFlight := func() int {
@@ -173,6 +265,11 @@ func Explore(cfg ExploreConfig) (*ExploreResult, error) {
 		if injected < cfg.Ops && (fabric.Pending() == 0 || steps%cfg.InjectEvery == 0) {
 			inject()
 			injected++
+			persistAll() // snapshot before a crash can interleave
+			for len(crashQueue) > 0 && injected >= crashQueue[0] {
+				crashQueue = crashQueue[1:]
+				crash()
+			}
 		}
 		if fabric.Step() {
 			res.Delivered++
@@ -183,6 +280,7 @@ func Explore(cfg ExploreConfig) (*ExploreResult, error) {
 				flush(id)
 			}
 		}
+		persistAll()
 		steps++
 	}
 	if fabric.Pending() > 0 {
@@ -202,8 +300,11 @@ func Explore(cfg ExploreConfig) (*ExploreResult, error) {
 	// in flight to retransmit it. Convergence is an eventual-delivery
 	// property, so model "eventually": one lossless no-op sync update per
 	// replica re-ships every payload (or its digest, under digest/delta
-	// transfer — either way the receiver ends up dominating it).
-	if cfg.Loss > 0 || cfg.Duplication > 0 {
+	// transfer — either way the receiver ends up dominating it). Crashes
+	// need the same treatment: an abandoned update is durable in its
+	// submitter's restored payload but has no proposer left to retransmit
+	// its MERGEs, so only the sync round provably spreads it.
+	if cfg.Loss > 0 || cfg.Duplication > 0 || cfg.Crashes > 0 {
 		fabric.SetLoss(0)
 		fabric.SetDuplication(0)
 		for _, id := range members {

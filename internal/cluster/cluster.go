@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"path/filepath"
 
 	"crdtsmr/internal/transport"
 )
@@ -16,7 +17,10 @@ type Cluster struct {
 	order []transport.NodeID
 }
 
-// New starts a node for every member of cfg over the given mesh.
+// New starts a node for every member of cfg over the given mesh. When
+// cfg.DataDir is set, every node persists into its own subdirectory
+// (<DataDir>/<id>), mirroring one process per replica each with its own
+// -data-dir.
 func New(mesh *transport.Mesh, cfg Config) (*Cluster, error) {
 	c := &Cluster{
 		mesh:  mesh,
@@ -24,7 +28,11 @@ func New(mesh *transport.Mesh, cfg Config) (*Cluster, error) {
 		order: append([]transport.NodeID(nil), cfg.Members...),
 	}
 	for _, id := range cfg.Members {
-		n, err := NewNode(id, cfg, func(id transport.NodeID, h transport.Handler) transport.Conn {
+		nodeCfg := cfg
+		if cfg.DataDir != "" {
+			nodeCfg.DataDir = filepath.Join(cfg.DataDir, string(id))
+		}
+		n, err := NewNode(id, nodeCfg, func(id transport.NodeID, h transport.Handler) transport.Conn {
 			return mesh.Join(id, h)
 		})
 		if err != nil {
@@ -73,6 +81,32 @@ func (c *Cluster) Recover(id transport.NodeID) {
 	if n := c.nodes[id]; n != nil {
 		n.SetCrashed(false)
 	}
+}
+
+// Restart brings a node back the hard way: its volatile state is
+// discarded and the keyspace rehydrated from its snapshot directory, as
+// if the process had been killed and re-exec'd with the same -data-dir.
+// The survivors' digest/delta caches about the node are dropped first
+// (the restarted node's own caches are gone with its volatile state), so
+// the PR 4 transfer machinery re-earns its assumptions from fresh
+// traffic. Works on a crashed node (the usual sequence: Crash, then
+// Restart) and on a live one (a rolling restart). Requires the cluster
+// to have been created with a DataDir.
+func (c *Cluster) Restart(id transport.NodeID) error {
+	n := c.nodes[id]
+	if n == nil {
+		return fmt.Errorf("cluster: restart of unknown node %s", id)
+	}
+	for oid, o := range c.nodes {
+		if oid != id {
+			o.ForgetPeer(id)
+		}
+	}
+	if err := n.Restart(); err != nil {
+		return err
+	}
+	c.mesh.SetDown(id, false)
+	return nil
 }
 
 // Close stops every node.

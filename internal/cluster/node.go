@@ -11,6 +11,7 @@ import (
 	"crdtsmr/internal/clock"
 	"crdtsmr/internal/core"
 	"crdtsmr/internal/crdt"
+	"crdtsmr/internal/persist"
 	"crdtsmr/internal/transport"
 	"crdtsmr/internal/wire"
 )
@@ -54,6 +55,25 @@ type Config struct {
 	// (docs/PROTOCOL.md §3). It is copied into Options.Transfer unless
 	// Options already selects a non-default mode.
 	StateTransfer core.StateTransfer
+	// DataDir, when non-empty, makes the node durable: every object's
+	// acceptor payload and consensus metadata is snapshotted to this
+	// directory after each durable-state transition — before the
+	// resulting protocol messages leave the node, so nothing is promised
+	// to a peer that the disk does not hold — and reloaded at startup and
+	// by Restart (docs/ARCHITECTURE.md, "Recovery lifecycle"). Empty
+	// disables persistence: a crashed node can only Recover with its
+	// in-memory state, never Restart.
+	DataDir string
+	// PersistSync selects the snapshot sync policy (persist.SyncNone by
+	// default: atomic renames survive process crashes; SyncAlways also
+	// survives power loss).
+	PersistSync persist.SyncPolicy
+	// Recover selects how corrupt snapshot files are treated when
+	// loading: fail startup (persist.RecoverStrict, the default) or skip
+	// them so the affected keys start fresh and re-learn from the
+	// cluster (persist.RecoverIgnoreCorrupt, an explicit operator
+	// decision).
+	Recover persist.RecoverPolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +118,8 @@ type Node struct {
 	quit   chan struct{}
 	wg     sync.WaitGroup
 
+	store *persist.Store // nil when cfg.DataDir is empty
+
 	// Loop-owned state (accessed only from the event loop).
 	replicas      map[string]*core.Replica
 	timers        map[string]map[uint64]clock.Timer
@@ -107,18 +129,31 @@ type Node struct {
 	batchUpdates  map[string][]*updateOp
 	batchQueries  map[string][]*queryOp
 	flushTimer    clock.Timer
+	savedVersion  map[string]uint64 // per-key StateVersion last persisted
+	persistErrs   uint64            // failed snapshot writes (outbox + completions dropped)
+	skippedSnaps  uint64            // corrupt snapshots skipped under RecoverIgnoreCorrupt
+	notify        []keyedNotify     // client completions deferred past persistence
+}
+
+// keyedNotify is one deferred client completion, tagged with the object
+// key whose event produced it so a failed snapshot write can withhold
+// exactly that key's completions.
+type keyedNotify struct {
+	key string
+	fn  func()
 }
 
 type nodeEvent struct {
-	kind    eventKind
-	from    transport.NodeID
-	payload []byte
-	key     string
-	update  *updateOp
-	query   *queryOp
-	reqID   uint64
-	crash   bool
-	queries bool // evFlush: flush the query batches (else the update batches)
+	kind      eventKind
+	from      transport.NodeID
+	payload   []byte
+	key       string
+	update    *updateOp
+	query     *queryOp
+	reqID     uint64
+	crash     bool
+	queries   bool       // evFlush: flush the query batches (else the update batches)
+	restarted chan error // evRestart: receives the rehydration result
 }
 
 type eventKind uint8
@@ -130,6 +165,7 @@ const (
 	evTimeout
 	evFlush
 	evSetCrashed
+	evRestart
 )
 
 type updateOp struct {
@@ -166,6 +202,14 @@ func NewNode(id transport.NodeID, cfg Config, join func(transport.NodeID, transp
 		timers:       make(map[string]map[uint64]clock.Timer),
 		batchUpdates: make(map[string][]*updateOp),
 		batchQueries: make(map[string][]*queryOp),
+		savedVersion: make(map[string]uint64),
+	}
+	if cfg.DataDir != "" {
+		store, err := persist.Open(cfg.DataDir, persist.Options{Sync: cfg.PersistSync})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %s: %w", id, err)
+		}
+		n.store = store
 	}
 	// Instantiate the default object eagerly: it validates the member list
 	// and initial state once, at startup, rather than on the first command.
@@ -174,6 +218,11 @@ func NewNode(id transport.NodeID, cfg Config, join func(transport.NodeID, transp
 		return nil, err
 	}
 	n.replicas[DefaultKey] = rep
+	// Rehydrate before joining the transport: once the first message can
+	// arrive, every key's acceptor must already hold its pre-crash round.
+	if err := n.loadSnapshots(); err != nil {
+		return nil, err
+	}
 	n.conn = join(id, n.handleInbound)
 	n.wg.Add(1)
 	go n.loop()
@@ -328,6 +377,127 @@ func (n *Node) SetCrashed(crashed bool) {
 	n.post(nodeEvent{kind: evSetCrashed, crash: crashed})
 }
 
+// Restart models a full process restart on a durable node: every volatile
+// structure is dropped — in-flight requests fail over to their clients,
+// batches are rejected, all per-key replicas and their transfer caches
+// are discarded — and the keyspace is rehydrated from the snapshot
+// directory, exactly as a freshly exec'd process with the same -data-dir
+// would come up. The transport binding survives (peers redial a real
+// process anyway). This is the paper's recovery claim at runtime: no log
+// replay, just one snapshot read per key.
+//
+// Restart requires a DataDir. If rehydration fails (a corrupt snapshot
+// under the strict recover policy), the node stays crashed — refusing to
+// serve is the only safe answer when the disk cannot reproduce what was
+// promised to the quorum — and the error is returned.
+//
+// Restart travels the event channel, not the side-band call path, so it
+// serializes behind an immediately preceding SetCrashed(true): the usual
+// Crash-then-Restart sequence cannot observe the crash flag flipping back
+// on after the rehydration.
+func (n *Node) Restart() error {
+	ev := nodeEvent{kind: evRestart, restarted: make(chan error, 1)}
+	select {
+	case n.events <- ev:
+	case <-n.quit:
+		return ErrStopped
+	}
+	select {
+	case err := <-ev.restarted:
+		return err
+	case <-n.quit:
+		return ErrStopped
+	}
+}
+
+// restart runs on the event loop.
+func (n *Node) restart() error {
+	if n.store == nil {
+		return errors.New("cluster: Restart requires a DataDir (volatile nodes can only Recover)")
+	}
+	n.failEverything()
+	for key, byReq := range n.timers {
+		for reqID, t := range byReq {
+			t.Stop()
+			delete(byReq, reqID)
+		}
+		delete(n.timers, key)
+	}
+	n.replicas = make(map[string]*core.Replica)
+	n.savedVersion = make(map[string]uint64)
+	n.dirty = n.dirty[:0]
+	rep, err := core.NewReplica(n.id, n.cfg.Members, n.cfg.Initial, n.cfg.Options)
+	if err != nil {
+		n.crashed = true
+		return err
+	}
+	n.replicas[DefaultKey] = rep
+	if err := n.loadSnapshots(); err != nil {
+		n.crashed = true
+		return err
+	}
+	n.crashed = false
+	return nil
+}
+
+// loadSnapshots rehydrates every persisted key: the replica is created
+// from the configured initial state and the snapshot restored into it
+// (Restore joins, so a snapshot can never regress below s0). A snapshot
+// for a key the local configuration rejects fails the load — serving a
+// keyspace the disk remembers but the config denies would be a silent
+// split-brain between configuration and data.
+func (n *Node) loadSnapshots() error {
+	if n.store == nil {
+		return nil
+	}
+	snaps, skipped, err := n.store.LoadAll(n.cfg.Recover)
+	if err != nil {
+		return fmt.Errorf("cluster: %s: %w", n.id, err)
+	}
+	n.skippedSnaps += uint64(skipped)
+	for _, ks := range snaps {
+		rep, ok := n.replicas[ks.Key]
+		if !ok {
+			s0, err := n.cfg.initialFor(ks.Key)
+			if err != nil {
+				return fmt.Errorf("cluster: %s: snapshot for unconfigured key %q: %w", n.id, ks.Key, err)
+			}
+			rep, err = core.NewReplica(n.id, n.cfg.Members, s0, n.cfg.Options)
+			if err != nil {
+				return err
+			}
+			n.replicas[ks.Key] = rep
+		}
+		if err := rep.Restore(ks.Snap); err != nil {
+			return fmt.Errorf("cluster: %s: restore %q: %w", n.id, ks.Key, err)
+		}
+		n.savedVersion[ks.Key] = rep.StateVersion()
+	}
+	return nil
+}
+
+// PersistErrors returns how many snapshot writes have failed. Each
+// failure dropped the affected key's outbound messages and withheld its
+// client completions for that event (degrading to message loss, which
+// the protocol tolerates) rather than promising peers or clients state
+// the disk does not hold.
+func (n *Node) PersistErrors() uint64 {
+	var v uint64
+	n.call(func() { v = n.persistErrs })
+	return v
+}
+
+// SkippedSnapshots returns how many corrupt snapshot files were skipped
+// under persist.RecoverIgnoreCorrupt, across startup and every Restart.
+// A nonzero value means those keys came up with less state than the disk
+// once held and re-learned from the cluster; operators should surface it
+// (crdtsmrd prints it at startup).
+func (n *Node) SkippedSnapshots() uint64 {
+	var v uint64
+	n.call(func() { v = n.skippedSnaps })
+	return v
+}
+
 // Close stops the event loop and detaches from the transport.
 func (n *Node) Close() error {
 	select {
@@ -476,6 +646,8 @@ func (n *Node) handle(ev nodeEvent) {
 		if ev.crash {
 			n.failEverything()
 		}
+	case evRestart:
+		ev.restarted <- n.restart()
 	}
 }
 
@@ -497,10 +669,15 @@ func (n *Node) startUpdate(key string, ops []*updateOp) {
 		}
 		return s, nil
 	}
+	// The completion is deferred to flushOutbox's notify phase: on a
+	// durable node the client must not observe success before the local
+	// snapshot covering the update has hit disk.
 	reqID, err := rep.SubmitUpdate(combined, func(stats core.UpdateStats, err error) {
-		for _, op := range ops {
-			op.done <- updateResult{stats: stats, err: err}
-		}
+		n.notify = append(n.notify, keyedNotify{key: key, fn: func() {
+			for _, op := range ops {
+				op.done <- updateResult{stats: stats, err: err}
+			}
+		}})
 	})
 	if err != nil {
 		for _, op := range ops {
@@ -522,9 +699,11 @@ func (n *Node) startQuery(key string, ops []*queryOp) {
 		return
 	}
 	reqID := rep.SubmitQuery(func(s crdt.State, stats core.QueryStats, err error) {
-		for _, op := range ops {
-			op.done <- queryResult{state: s, stats: stats, err: err}
-		}
+		n.notify = append(n.notify, keyedNotify{key: key, fn: func() {
+			for _, op := range ops {
+				op.done <- queryResult{state: s, stats: stats, err: err}
+			}
+		}})
 	})
 	if rep.Pending(reqID) {
 		n.armTimer(key, reqID)
@@ -574,16 +753,39 @@ func (n *Node) disarmTimer(key string, reqID uint64) {
 // last event — wrapped in the key's object-ID envelope — and disarms timers
 // of requests that completed. Only dirty keys are visited, so per-event
 // cost is independent of the size of the keyspace.
+//
+// On a durable node the key's snapshot is written first, whenever its
+// durable state advanced: an ACK promising a round, a MERGED confirming a
+// merge, must never outrun the disk. A failed snapshot write drops the
+// key's outbound envelopes AND withholds the key's client completions
+// instead — to its peers and clients alike the node behaves like a lossy
+// link (the clients' requests time out and surface as uncertain), never
+// like a liar claiming durability the disk does not hold. Surviving
+// completions are released last, after the persistence point, so an
+// acknowledged command is durable here even on a single-node cluster.
 func (n *Node) flushOutbox() {
-	if len(n.dirty) == 0 {
-		return
-	}
+	var persistFailed map[string]bool
 	for _, key := range n.dirty {
 		rep, ok := n.replicas[key]
 		if !ok {
 			continue
 		}
-		for _, e := range rep.TakeOutbox() {
+		out := rep.TakeOutbox()
+		if n.store != nil && !n.crashed {
+			if v := rep.StateVersion(); v != n.savedVersion[key] {
+				if err := n.store.SaveSnapshot(key, rep.Snapshot()); err != nil {
+					n.persistErrs++
+					if persistFailed == nil {
+						persistFailed = make(map[string]bool, 1)
+					}
+					persistFailed[key] = true
+					out = nil
+				} else {
+					n.savedVersion[key] = v
+				}
+			}
+		}
+		for _, e := range out {
 			if !n.crashed {
 				n.conn.Send(e.To, wire.PackEnvelope(key, e.Payload))
 			}
@@ -595,6 +797,14 @@ func (n *Node) flushOutbox() {
 		}
 	}
 	n.dirty = n.dirty[:0]
+	if len(n.notify) > 0 {
+		for _, kn := range n.notify {
+			if !persistFailed[kn.key] {
+				kn.fn()
+			}
+		}
+		n.notify = n.notify[:0]
+	}
 }
 
 // failEverything aborts in-flight and batched requests upon crash; their

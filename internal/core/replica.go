@@ -115,6 +115,7 @@ type Replica struct {
 
 	nextReq  uint64
 	nextSeq  uint64
+	version  uint64 // durable-state transition counter (see StateVersion)
 	updates  map[uint64]*updateReq
 	queries  map[uint64]*queryReq
 	learned  crdt.State // largest learned state (GLA-Stability, §3.4)
@@ -335,6 +336,7 @@ func (r *Replica) SubmitUpdate(fu crdt.Update, done UpdateDone) (uint64, error) 
 	if err != nil {
 		return 0, fmt.Errorf("core: update function: %w", err)
 	}
+	r.version++ // payload replaced, round clobbered, nextReq advances
 	r.nextReq++
 	req := &updateReq{
 		id:      r.nextReq,
@@ -429,6 +431,9 @@ func (r *Replica) startAttempt(req *queryReq, round Round, seed crdt.State) {
 	req.prepared, req.preparedDig, req.hasPrepared = nil, crdt.Digest{}, false
 	req.rtts++
 
+	// nextSeq advances and the local acceptor (below) merges the seed and
+	// adopts the round: one durable transition either way.
+	r.version++
 	r.nextSeq++
 	round.ID = RoundID{Proposer: r.id, Seq: r.nextSeq}
 	req.round = round
@@ -535,6 +540,7 @@ func (r *Replica) onMerge(from transport.NodeID, m *message) {
 			r.counters.MalformedMsgs++
 			return
 		}
+		r.version++
 		if track && len(m.StateRaw) > 0 {
 			// Fingerprint the sender's state from the wire bytes — the
 			// digest is defined over exactly this encoding.
@@ -568,6 +574,7 @@ func (r *Replica) onMerge(from transport.NodeID, m *message) {
 			r.counters.MalformedMsgs++
 			return
 		}
+		r.version++
 		if track {
 			// baseline ⊔ delta = the sender's full state: merged here, so
 			// its digest is now a recognized baseline for future deltas.
@@ -629,6 +636,9 @@ func (r *Replica) onPrepare(from transport.NodeID, m *message) {
 		r.counters.MalformedMsgs++
 		return
 	}
+	// The prepare may have merged a seed and adopted a round; bumping on
+	// NACKs too overcounts at worst (StateVersion is allowed to).
+	r.version++
 	if reply == msgAck {
 		r.counters.PreparesAccepted++
 	} else {
@@ -654,6 +664,7 @@ func (r *Replica) onVote(from transport.NodeID, m *message) {
 		r.counters.MalformedMsgs++
 		return
 	}
+	r.version++ // the vote's proposed state was merged into the payload
 	if reply == msgVoted {
 		r.counters.VotesAccepted++
 	} else {
@@ -813,6 +824,7 @@ func (r *Replica) maybeDecidePrepare(req *queryReq) {
 		// Local acceptor votes synchronously. A local denial means an
 		// update already intervened here; per §3.2 retry straight away.
 		reply, _, accState, voteErr := r.acc.handleVote(common, lub)
+		r.version++
 		if voteErr == nil && reply != msgVoted {
 			req.gathered = r.mergeGathered(req.gathered, accState)
 			r.retryQuery(req)
@@ -915,6 +927,7 @@ func (r *Replica) finishQuery(req *queryReq, learned crdt.State, path LearnPath)
 		switch {
 		case err == nil && le:
 			r.learned = learned
+			r.version++
 		case err == nil:
 			learned = r.learned
 		}

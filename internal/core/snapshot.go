@@ -1,0 +1,99 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"crdtsmr/internal/crdt"
+)
+
+// Snapshot is the complete durable state of one object replica — the
+// paper's headline recovery claim made concrete: a log-free replica
+// recovers from its current CRDT payload plus constant-size consensus
+// metadata, with no log replay (§1, "memory overhead of a single counter
+// per replica"). Everything else a Replica holds (in-flight requests,
+// digest/delta transfer caches, the retired-update slot) is volatile and
+// safe to lose: requests fail over to the client's retry path and the
+// caches repopulate from traffic.
+//
+// The fields:
+//
+//   - Round is the acceptor's promised round. Persisting it is the safety
+//     half of recovery — a restored acceptor must never promise a lower
+//     round than it did before the crash, or a stale proposer could count
+//     a quorum it no longer has.
+//   - State is the acceptor payload; Learned is the largest state this
+//     replica returned to a client (GLA-Stability, §3.4), so reads stay
+//     monotone across a restart too.
+//   - NextReq and NextSeq are the proposer's monotone counters. NextSeq
+//     feeds round IDs; restoring it keeps post-restart rounds distinct
+//     from every round this proposer issued before the crash (round IDs
+//     must never repeat, or late replies to a pre-crash request could be
+//     counted toward a post-crash one with the same ID).
+type Snapshot struct {
+	Round   Round
+	State   crdt.State
+	Learned crdt.State
+	NextReq uint64
+	NextSeq uint64
+}
+
+// Snapshot returns the replica's current durable state. The contained
+// states are immutable; the snapshot is valid until the next mutation and
+// cheap to take (no copying, no encoding).
+func (r *Replica) Snapshot() Snapshot {
+	return Snapshot{
+		Round:   r.acc.round,
+		State:   r.acc.state,
+		Learned: r.learned,
+		NextReq: r.nextReq,
+		NextSeq: r.nextSeq,
+	}
+}
+
+// StateVersion counts durable-state transitions: it increases whenever a
+// Snapshot taken now could differ from one taken before (payload merged,
+// round adopted, state learned, a proposer counter advanced). Runtimes
+// persisting snapshots compare it against the version they last wrote to
+// skip no-op writes. It may overcount (bumping on a transition that left
+// the state equivalent) but never undercounts.
+func (r *Replica) StateVersion() uint64 { return r.version }
+
+// Restore rehydrates a replica from a snapshot, merging it into the
+// replica's current state: the payload and learned states are joined, the
+// round and the proposer counters take the maximum. Joining (rather than
+// overwriting) makes Restore monotone — restoring an old snapshot onto a
+// replica that has already moved on can never regress the promised round
+// or shrink the payload, which is the recovery safety argument in one
+// line. Restore is intended for freshly constructed replicas, before any
+// command or message is processed.
+func (r *Replica) Restore(snap Snapshot) error {
+	if snap.State == nil {
+		return errors.New("core: restore with nil state")
+	}
+	merged, err := r.acc.state.Merge(snap.State)
+	if err != nil {
+		return fmt.Errorf("core: restore payload: %w", err)
+	}
+	learned := snap.Learned
+	if learned == nil {
+		learned = snap.State
+	}
+	mergedLearned, err := r.learned.Merge(learned)
+	if err != nil {
+		return fmt.Errorf("core: restore learned state: %w", err)
+	}
+	r.acc.state = merged
+	r.learned = mergedLearned
+	if r.acc.round.Less(snap.Round) {
+		r.acc.round = snap.Round
+	}
+	if snap.NextReq > r.nextReq {
+		r.nextReq = snap.NextReq
+	}
+	if snap.NextSeq > r.nextSeq {
+		r.nextSeq = snap.NextSeq
+	}
+	r.version++
+	return nil
+}

@@ -1,0 +1,15 @@
+// Package persist stores replica snapshots as atomic, versioned,
+// checksummed files — the durability half of the paper's log-free
+// recovery claim: because the protocol keeps no log, a replica's entire
+// durable state is its current CRDT payload plus constant-size consensus
+// metadata, so recovery is "write one snapshot, read one snapshot", with
+// nothing to replay (docs/PROTOCOL.md §4 specifies the file format,
+// docs/ARCHITECTURE.md the recovery lifecycle).
+//
+// Each object key owns one file in the snapshot directory, rewritten
+// whole on every durable-state transition via write-to-temp + rename, so
+// a crash at any instant leaves either the old snapshot or the new one —
+// never a torn mix. A SHA-256 trailer over the full contents rejects
+// every other corruption (truncation, bit rot, partial page writes) with
+// an error matching ErrCorrupt.
+package persist

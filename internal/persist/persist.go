@@ -1,0 +1,409 @@
+package persist
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"crdtsmr/internal/core"
+	"crdtsmr/internal/crdt"
+	"crdtsmr/internal/transport"
+	"crdtsmr/internal/wire"
+)
+
+// ErrCorrupt matches every snapshot the decoder rejects: truncated,
+// checksum-mismatched, wrong magic, unknown version, or structurally
+// malformed. Callers decide policy (fail startup, or skip under
+// RecoverIgnoreCorrupt); the sentinel is the typed boundary they key on.
+var ErrCorrupt = errors.New("persist: corrupt snapshot")
+
+// File format constants (docs/PROTOCOL.md §4).
+const (
+	// magic opens every snapshot file. A file that does not start with it
+	// was never a snapshot; one that does but fails the checksum was.
+	magic = "CRSNAP"
+	// version is the current snapshot format version. Decoders reject
+	// unknown versions: the format carries consensus metadata, and
+	// guessing at it would be a safety bug, not a compatibility feature.
+	version = 1
+	// suffix names snapshot files; everything else in the directory
+	// (including temp files from interrupted saves) is ignored on load.
+	suffix = ".snap"
+)
+
+// Record is one key's decoded snapshot: the object key plus the replica's
+// durable state with the payload and learned states still in their
+// marshaled form, so the byte-level codec stays independent of the CRDT
+// registry (the fuzz target exercises it on arbitrary bytes).
+type Record struct {
+	Key     string
+	Round   core.Round
+	NextReq uint64
+	NextSeq uint64
+	State   []byte // crdt.Marshal encoding of the acceptor payload
+	Learned []byte // nil when equivalent to State (the common case)
+}
+
+// EncodeRecord serializes a record:
+//
+//	magic "CRSNAP" | version u8 | key str | round (number varint,
+//	proposer str, seq uvarint) | nextReq uvarint | nextSeq uvarint |
+//	payload stateFrame | learned stateFrame | sha256[32]
+//
+// The two state frames reuse the replica wire's state-frame codec
+// (internal/wire/state.go): the payload is a full frame, the learned
+// state a none frame when it equals the payload. The trailing SHA-256
+// covers every preceding byte.
+func EncodeRecord(rec Record) []byte {
+	w := wire.NewWriter(len(rec.State) + len(rec.Learned) + len(rec.Key) + 64)
+	w.Fixed([]byte(magic))
+	w.Byte(version)
+	w.Str(rec.Key)
+	w.Varint(rec.Round.Number)
+	w.Str(string(rec.Round.ID.Proposer))
+	w.Uvarint(rec.Round.ID.Seq)
+	w.Uvarint(rec.NextReq)
+	w.Uvarint(rec.NextSeq)
+	wire.StateFrame{Kind: wire.StateFull, State: rec.State}.Append(w)
+	learned := wire.StateFrame{Kind: wire.StateNone}
+	if rec.Learned != nil {
+		learned = wire.StateFrame{Kind: wire.StateFull, State: rec.Learned}
+	}
+	learned.Append(w)
+	sum := sha256.Sum256(w.Bytes())
+	w.Fixed(sum[:])
+	return w.Bytes()
+}
+
+// corruptf wraps a decode failure so errors.Is(err, ErrCorrupt) holds.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// DecodeRecord parses and verifies a snapshot file's contents. Every
+// rejection matches ErrCorrupt. The checksum is verified before any
+// structure is parsed, so a flipped bit anywhere in the file is caught
+// even when it would still decode.
+func DecodeRecord(p []byte) (Record, error) {
+	if len(p) < len(magic)+1+sha256.Size {
+		return Record{}, corruptf("%d bytes is shorter than the fixed header and trailer", len(p))
+	}
+	body, trailer := p[:len(p)-sha256.Size], p[len(p)-sha256.Size:]
+	if sum := sha256.Sum256(body); !bytes.Equal(sum[:], trailer) {
+		return Record{}, corruptf("checksum mismatch")
+	}
+	if string(body[:len(magic)]) != magic {
+		return Record{}, corruptf("bad magic %q", body[:len(magic)])
+	}
+	if v := body[len(magic)]; v != version {
+		return Record{}, corruptf("unsupported snapshot version %d (want %d)", v, version)
+	}
+	r := wire.NewReader(body[len(magic)+1:])
+	rec := Record{Key: r.Str()}
+	rec.Round.Number = r.Varint()
+	rec.Round.ID.Proposer = transport.NodeID(r.Str())
+	rec.Round.ID.Seq = r.Uvarint()
+	rec.NextReq = r.Uvarint()
+	rec.NextSeq = r.Uvarint()
+	payload := wire.ReadStateFrame(r)
+	learned := wire.ReadStateFrame(r)
+	if err := r.Done(); err != nil {
+		return Record{}, corruptf("%v", err)
+	}
+	if payload.Kind != wire.StateFull {
+		return Record{}, corruptf("payload frame kind %v, want full", payload.Kind)
+	}
+	rec.State = payload.State
+	switch learned.Kind {
+	case wire.StateNone:
+	case wire.StateFull:
+		rec.Learned = learned.State
+	default:
+		return Record{}, corruptf("learned frame kind %v, want none or full", learned.Kind)
+	}
+	return rec, nil
+}
+
+// FromSnapshot converts a replica's in-memory snapshot into a record,
+// marshaling the states. The learned state is stored only when it differs
+// from the payload (deterministic marshal makes the byte comparison an
+// exact equivalence check).
+func FromSnapshot(key string, snap core.Snapshot) (Record, error) {
+	raw, err := crdt.Marshal(snap.State)
+	if err != nil {
+		return Record{}, fmt.Errorf("persist: marshal payload of %q: %w", key, err)
+	}
+	rec := Record{
+		Key:     key,
+		Round:   snap.Round,
+		NextReq: snap.NextReq,
+		NextSeq: snap.NextSeq,
+		State:   raw,
+	}
+	if snap.Learned != nil && snap.Learned != snap.State {
+		lraw, err := crdt.Marshal(snap.Learned)
+		if err != nil {
+			return Record{}, fmt.Errorf("persist: marshal learned state of %q: %w", key, err)
+		}
+		if !bytes.Equal(raw, lraw) {
+			rec.Learned = lraw
+		}
+	}
+	return rec, nil
+}
+
+// Snapshot decodes the record's marshaled states into a core.Snapshot.
+// The payload types must be registered in the CRDT registry; a snapshot
+// of an unregistered or undecodable type is reported as corrupt (the
+// caller cannot distinguish bit rot from a registry mismatch, and both
+// mean this file cannot rehydrate a replica).
+func (rec Record) Snapshot() (core.Snapshot, error) {
+	state, err := crdt.Unmarshal(rec.State)
+	if err != nil {
+		return core.Snapshot{}, corruptf("payload of %q: %v", rec.Key, err)
+	}
+	snap := core.Snapshot{
+		Round:   rec.Round,
+		State:   state,
+		NextReq: rec.NextReq,
+		NextSeq: rec.NextSeq,
+	}
+	if rec.Learned != nil {
+		learned, err := crdt.Unmarshal(rec.Learned)
+		if err != nil {
+			return core.Snapshot{}, corruptf("learned state of %q: %v", rec.Key, err)
+		}
+		snap.Learned = learned
+	}
+	return snap, nil
+}
+
+// SyncPolicy selects how hard Save pushes bytes toward the platter.
+type SyncPolicy uint8
+
+const (
+	// SyncNone (the default) relies on the atomic rename alone: a crashed
+	// or killed process always leaves a complete old or new snapshot, but
+	// a power loss may roll back to an older one. This is the paper's
+	// crash-recovery model and what the tests exercise.
+	SyncNone SyncPolicy = iota
+	// SyncAlways additionally fsyncs the snapshot file and its directory
+	// on every save, surviving power loss at the cost of one or two disk
+	// flushes per durable transition.
+	SyncAlways
+)
+
+// RecoverPolicy selects what loading does with a corrupt snapshot file.
+type RecoverPolicy uint8
+
+const (
+	// RecoverStrict (the default) fails the load: a replica must not
+	// silently come up with less state than it promised a quorum it had.
+	RecoverStrict RecoverPolicy = iota
+	// RecoverIgnoreCorrupt skips corrupt files, so the affected keys start
+	// fresh and re-learn their state from the cluster. Only safe when a
+	// quorum of other replicas is intact — which is why it is an explicit
+	// operator decision (-recover=ignore-corrupt), never a default.
+	RecoverIgnoreCorrupt
+)
+
+// ParseRecoverPolicy parses the -recover flag values.
+func ParseRecoverPolicy(s string) (RecoverPolicy, error) {
+	switch s {
+	case "strict":
+		return RecoverStrict, nil
+	case "ignore-corrupt":
+		return RecoverIgnoreCorrupt, nil
+	default:
+		return RecoverStrict, fmt.Errorf("persist: unknown recover policy %q (want strict or ignore-corrupt)", s)
+	}
+}
+
+// Options configure a Store.
+type Options struct {
+	Sync SyncPolicy
+}
+
+// Store manages one replica's snapshot directory: one file per object
+// key, each rewritten atomically. Store methods are not safe for
+// concurrent use; the node event loop is the single writer.
+type Store struct {
+	dir  string
+	opts Options
+
+	// beforeRename, when set by tests, runs after the temp file is fully
+	// written but before the atomic rename — the injection point for
+	// modeling a filesystem failure mid-save (torn-write safety test).
+	beforeRename func(tmp string) error
+}
+
+// Open creates (if needed) and opens a snapshot directory. Temp files
+// left behind by interrupted saves are removed; committed snapshots are
+// never touched.
+func Open(dir string, opts Options) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("persist: empty snapshot directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), tmpPrefix) {
+			_ = os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+	return &Store{dir: dir, opts: opts}, nil
+}
+
+// Dir returns the snapshot directory.
+func (s *Store) Dir() string { return s.dir }
+
+const tmpPrefix = ".tmp-"
+
+// maxHexName bounds the hex-encoded form of a key in a filename. Longer
+// keys switch to a hashed name so no key length can exceed NAME_MAX; the
+// true key always lives inside the file, the name only needs to be
+// deterministic and collision-free.
+const maxHexName = 128
+
+// Path returns the snapshot file path for an object key. Short keys are
+// hex encoded ("k<hex>.snap") so arbitrary key strings (path separators,
+// empty, unicode) map to flat, unambiguous, still-greppable file names;
+// keys whose hex form would overflow typical filename limits use the
+// SHA-256 of the key instead ("h<hash>.snap").
+func (s *Store) Path(key string) string {
+	name := hex.EncodeToString([]byte(key))
+	if len(name) > maxHexName {
+		sum := sha256.Sum256([]byte(key))
+		return filepath.Join(s.dir, "h"+hex.EncodeToString(sum[:])+suffix)
+	}
+	return filepath.Join(s.dir, "k"+name+suffix)
+}
+
+// Save atomically replaces the key's snapshot file: encode, write to a
+// temp file in the same directory, then rename over the old file. A crash
+// anywhere in between leaves the previous snapshot intact — the torn
+// write lands in the temp file, which Open sweeps away.
+func (s *Store) Save(rec Record) error {
+	data := EncodeRecord(rec)
+	f, err := os.CreateTemp(s.dir, tmpPrefix)
+	if err != nil {
+		return fmt.Errorf("persist: save %q: %w", rec.Key, err)
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return fmt.Errorf("persist: save %q: %w", rec.Key, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		return fail(err)
+	}
+	if s.opts.Sync == SyncAlways {
+		if err := f.Sync(); err != nil {
+			return fail(err)
+		}
+	}
+	if s.beforeRename != nil {
+		if err := s.beforeRename(tmp); err != nil {
+			return fail(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmp, s.Path(rec.Key)); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("persist: save %q: %w", rec.Key, err)
+	}
+	if s.opts.Sync == SyncAlways {
+		if err := syncDir(s.dir); err != nil {
+			return fmt.Errorf("persist: save %q: %w", rec.Key, err)
+		}
+	}
+	return nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// SaveSnapshot marshals and saves one key's replica snapshot.
+func (s *Store) SaveSnapshot(key string, snap core.Snapshot) error {
+	rec, err := FromSnapshot(key, snap)
+	if err != nil {
+		return err
+	}
+	return s.Save(rec)
+}
+
+// KeySnapshot is one rehydratable key: the object key and its decoded
+// replica snapshot.
+type KeySnapshot struct {
+	Key  string
+	Snap core.Snapshot
+}
+
+// LoadAll reads every snapshot in the directory, sorted by key. Under
+// RecoverStrict the first corrupt or undecodable file fails the load with
+// an error matching ErrCorrupt and naming the file; under
+// RecoverIgnoreCorrupt such files are skipped and counted in the second
+// return value.
+func (s *Store) LoadAll(policy RecoverPolicy) ([]KeySnapshot, int, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("persist: %w", err)
+	}
+	var out []KeySnapshot
+	skipped := 0
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, suffix) ||
+			(!strings.HasPrefix(name, "k") && !strings.HasPrefix(name, "h")) {
+			continue
+		}
+		path := filepath.Join(s.dir, name)
+		ks, err := loadFile(path)
+		if err != nil {
+			if policy == RecoverIgnoreCorrupt && errors.Is(err, ErrCorrupt) {
+				skipped++
+				continue
+			}
+			return nil, skipped, err
+		}
+		out = append(out, ks)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, skipped, nil
+}
+
+func loadFile(path string) (KeySnapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return KeySnapshot{}, fmt.Errorf("persist: %s: %w", path, err)
+	}
+	rec, err := DecodeRecord(data)
+	if err != nil {
+		return KeySnapshot{}, fmt.Errorf("%s: %w", path, err)
+	}
+	snap, err := rec.Snapshot()
+	if err != nil {
+		return KeySnapshot{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return KeySnapshot{Key: rec.Key, Snap: snap}, nil
+}

@@ -112,5 +112,10 @@ func (s *Store) Crash(id transport.NodeID) { s.inner.Crash(id) }
 // Recover brings a crashed replica back.
 func (s *Store) Recover(id transport.NodeID) { s.inner.Recover(id) }
 
+// Restart brings a replica back from its snapshot directory, discarding
+// volatile state — the process-restart model. Requires a cluster-level
+// DataDir (cluster.Config.DataDir).
+func (s *Store) Restart(id transport.NodeID) error { return s.inner.Restart(id) }
+
 // Close stops every node. The mesh is owned by the caller.
 func (s *Store) Close() { s.inner.Close() }
