@@ -187,6 +187,159 @@ func TestChaosPartitionHealLinearizable(t *testing.T) {
 	}
 }
 
+// leaseHits sums the lease fast-path counter across the given nodes.
+func leaseHits(cc *servedCluster, ids ...transport.NodeID) uint64 {
+	var sum uint64
+	for _, id := range ids {
+		sum += cc.cl.Node(id).Counters().LeaseHits
+	}
+	return sum
+}
+
+// TestChaosLeaseHolderPartition partitions the round-lease holder out of
+// a 5-node cluster in the middle of a hot-key, read-heavy stream. The
+// stream fails over to the surviving majority; every completed operation
+// must stay per-key linearizable (a stale leased read served from the
+// isolated holder would break it), and once the stream quiets down a
+// survivor must be able to install its own lease — the invalidation on
+// round steal (docs/PROTOCOL.md §5) must not wedge the fast path off
+// forever.
+func TestChaosLeaseHolderPartition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second chaos test")
+	}
+	const (
+		replicas       = 5
+		requestTimeout = 500 * time.Millisecond
+		streamOps      = 120 // read-heavy: one increment per 8 operations
+	)
+	cc := startServedClusterMode(t, replicas, 13, requestTimeout, core.TransferDelta)
+	n := cc.ids
+	const key = "obj/hot"
+	hist := checker.NewKeyedHistory()
+	h := hist.For(key)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Phase 0: a client pinned to n1 works the hot key until n1 holds the
+	// round lease and serves reads through it. The lease installs on the
+	// first read whose quorum agrees on the round, so a handful of
+	// read-after-write pairs suffices; the deadline is pure paranoia.
+	pinned, err := client.New(cc.addrsOf(n[0]),
+		client.WithRetryPolicy(client.RetryPolicy{MaxAttempts: 4, Backoff: 2 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pinned.Close()
+	ctr := pinned.Counter(key)
+	acquired := time.Now().Add(15 * time.Second)
+	for leaseHits(cc, n[0]) == 0 {
+		if time.Now().After(acquired) {
+			t.Fatal("n1 never acquired the lease")
+		}
+		id := h.Begin(checker.OpInc)
+		if err := ctr.Inc(ctx, 1); err != nil {
+			t.Fatalf("phase-0 inc: %v", err)
+		}
+		h.End(id, 0)
+		id = h.Begin(checker.OpRead)
+		v, err := ctr.Value(ctx)
+		if err != nil {
+			h.Discard(id)
+			t.Fatalf("phase-0 read: %v", err)
+		}
+		h.End(id, v)
+	}
+
+	// The mid-stream workload runs through a failover client that knows
+	// every server, lease holder first — so operations in flight when the
+	// partition bites retry onto the survivors instead of failing.
+	stream, err := client.New(cc.addrsOf(n...),
+		client.WithRetryPolicy(client.RetryPolicy{MaxAttempts: 4 * replicas, Backoff: 2 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+	streamDone := make(chan struct{})
+	go func() {
+		defer close(streamDone)
+		ctr := stream.Counter(key)
+		for i := 0; i < streamOps; i++ {
+			if i%8 == 7 {
+				id := h.Begin(checker.OpInc)
+				if err := ctr.Inc(ctx, 1); err != nil {
+					// The increment raced the partition and its fate is
+					// unknown; leaving the op open keeps the history sound.
+					continue
+				}
+				h.End(id, 0)
+				continue
+			}
+			id := h.Begin(checker.OpRead)
+			v, err := ctr.Value(ctx)
+			if err != nil {
+				h.Discard(id) // reads have no effects; discarding is sound
+				continue
+			}
+			h.End(id, v)
+		}
+	}()
+
+	// Partition the lease holder mid-stream: {n2..n5} keep the quorum,
+	// n1 — lease and all — is cut off.
+	time.Sleep(150 * time.Millisecond)
+	cc.mesh.Partition([]transport.NodeID{n[1], n[2], n[3], n[4]}, []transport.NodeID{n[0]})
+	<-streamDone
+
+	// A survivor must re-acquire the lease: reads pinned to n2 mint a
+	// fresh round (invalidating the holder's lease everywhere reachable)
+	// and, once the stream's rounds settle, install n2's own.
+	survivor, err := client.New(cc.addrsOf(n[1]),
+		client.WithRetryPolicy(client.RetryPolicy{MaxAttempts: 4, Backoff: 2 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer survivor.Close()
+	ctr = survivor.Counter(key)
+	base := leaseHits(cc, n[1], n[2], n[3], n[4])
+	reacquired := time.Now().Add(15 * time.Second)
+	for leaseHits(cc, n[1], n[2], n[3], n[4]) == base {
+		if time.Now().After(reacquired) {
+			t.Fatal("no survivor re-acquired the lease after the holder was partitioned away")
+		}
+		id := h.Begin(checker.OpRead)
+		v, err := ctr.Value(ctx)
+		if err != nil {
+			h.Discard(id)
+			t.Fatalf("survivor read: %v", err)
+		}
+		h.End(id, v)
+	}
+
+	// Heal and read the key once through every server — the rejoined
+	// holder must serve the merged value, not a stale leased one.
+	cc.mesh.Heal()
+	for _, id := range n {
+		c, err := client.New([]string{cc.addrs[id]},
+			client.WithRetryPolicy(client.RetryPolicy{MaxAttempts: 8, Backoff: 5 * time.Millisecond}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opID := h.Begin(checker.OpRead)
+		v, err := c.Counter(key).Value(ctx)
+		if err != nil {
+			h.Discard(opID)
+			t.Fatalf("final read via %s: %v", id, err)
+		}
+		h.End(opID, v)
+		_ = c.Close()
+	}
+
+	if err := checker.CheckKeyedLinearizable(hist); err != nil {
+		t.Fatalf("history across the lease-holder partition is not linearizable: %v", err)
+	}
+}
+
 // probeMinority asserts the error surface of a replica cut off from its
 // quorum: reads (no effects, provably not served) come back matching
 // ErrUnavailable so clients may blindly retry them anywhere, while

@@ -25,9 +25,12 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -44,7 +47,7 @@ func main() {
 
 func run() error {
 	var (
-		figure   = flag.String("figure", "all", "figure to regenerate: 1, 2, 3, 4, keys, clients, bytes, or all")
+		figure   = flag.String("figure", "all", "figure to regenerate: 1, 2, 3, 4, keys, clients, bytes, lease, or all")
 		duration = flag.Duration("duration", 2*time.Second, "measurement duration per data point (paper: 10m)")
 		warmup   = flag.Duration("warmup", 300*time.Millisecond, "warm-up excluded from statistics")
 		clients  = flag.String("clients", "1,8,64,256", "comma-separated client sweep (paper: 1..4096)")
@@ -57,6 +60,7 @@ func run() error {
 		perKey   = flag.Int("per-key", 2, "closed-loop clients per key for the sharded-store sweep")
 		sizes    = flag.String("sizes", "10,100,1000", "comma-separated or-set sizes for the bytes sweep (figure bytes)")
 		byteOps  = flag.Int("byte-ops", 30, "operations per data point for the bytes sweep")
+		outDir   = flag.String("out", "", "directory to write BENCH_<figure>.json records into (figures that emit them)")
 	)
 	flag.Parse()
 
@@ -82,6 +86,22 @@ func run() error {
 	}
 
 	out := os.Stdout
+	// saveFig persists a figure's machine-readable record when -out is
+	// set; the text table already went to stdout either way.
+	saveFig := func(fig *bench.FigureJSON) error {
+		if *outDir == "" || fig == nil {
+			return nil
+		}
+		if fig.GitSHA == "" {
+			fig.GitSHA = gitHead()
+		}
+		path := filepath.Join(*outDir, "BENCH_"+fig.Figure+".json")
+		if err := fig.WriteFile(path); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "wrote", path)
+		return nil
+	}
 	runOne := func(fig string) error {
 		switch fig {
 		case "1":
@@ -99,13 +119,19 @@ func run() error {
 			return bench.FigureClients(out, scale, keySweep, sweep)
 		case "bytes":
 			return bench.FigureBytes(out, *replicas, sizeSweep, *byteOps)
+		case "lease":
+			fig, err := bench.FigureLease(out, scale)
+			if err != nil {
+				return err
+			}
+			return saveFig(fig)
 		default:
 			return fmt.Errorf("unknown figure %q", fig)
 		}
 	}
 
 	if *figure == "all" {
-		for _, fig := range []string{"1", "2", "3", "4", "keys", "clients", "bytes"} {
+		for _, fig := range []string{"1", "2", "3", "4", "keys", "clients", "bytes", "lease"} {
 			if err := runOne(fig); err != nil {
 				return err
 			}
@@ -114,6 +140,16 @@ func run() error {
 		return nil
 	}
 	return runOne(*figure)
+}
+
+// gitHead is the fallback revision stamp for `go run` builds, which
+// carry no VCS build info.
+func gitHead() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return string(bytes.TrimSpace(out))
 }
 
 func parseClients(s string) ([]int, error) {

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime/debug"
+)
+
+// FigureSchema versions the BENCH_<figure>.json layout. Bump it on any
+// incompatible change so downstream tooling can reject files it does not
+// understand.
+const FigureSchema = 1
+
+// FigureJSON is the machine-readable record of one figure run, written
+// next to the human-readable table as BENCH_<figure>.json. It exists so
+// CI can archive figure outputs and compare runs across commits without
+// parsing the text tables.
+type FigureJSON struct {
+	Schema int    `json:"schema"`
+	Figure string `json:"figure"`
+	// GitSHA is the VCS revision stamped into the binary, when the build
+	// carried one (go build -buildvcs); empty otherwise. Callers with a
+	// better source (CI) may overwrite it before writing.
+	GitSHA string         `json:"git_sha"`
+	Params map[string]any `json:"params"`
+	Series []FigureSeries `json:"series"`
+}
+
+// FigureSeries is one named curve: Y[i] measured at X[i].
+type FigureSeries struct {
+	Name string    `json:"name"`
+	Unit string    `json:"unit,omitempty"`
+	X    []float64 `json:"x"`
+	Y    []float64 `json:"y"`
+}
+
+// SeriesNamed returns the series with the given name, or nil.
+func (f *FigureJSON) SeriesNamed(name string) *FigureSeries {
+	for i := range f.Series {
+		if f.Series[i].Name == name {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}
+
+// WriteFile writes the figure record as indented JSON.
+func (f *FigureJSON) WriteFile(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// buildGitSHA returns the module's VCS revision when the running binary
+// was built with VCS stamping, else "".
+func buildGitSHA() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				return s.Value
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+// TestFigureLeaseFastPath is the acceptance run for the round-lease
+// figure: on the widest cluster in the sweep the lease must actually
+// fire (hits > 0) and cut the median read-after-write latency by at
+// least 30%. The run is latency-bound (FigureLease floors the emulated
+// hop delay), so the assertion holds on a single-CPU box where a
+// CPU-throughput claim would not.
+func TestFigureLeaseFastPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency-bound measurement")
+	}
+	s := Scale{
+		Duration: 900 * time.Millisecond,
+		Warmup:   150 * time.Millisecond,
+		Net:      NetProfile{Seed: 1}, // below the floor: FigureLease substitutes the WAN-ish profile
+	}
+	fig, err := FigureLease(io.Discard, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Schema != FigureSchema || fig.Figure != "lease" {
+		t.Fatalf("figure header = %+v", fig)
+	}
+
+	hits := fig.SeriesNamed("lease hits")
+	off, on := fig.SeriesNamed("read p50, lease off"), fig.SeriesNamed("read p50, lease on")
+	if hits == nil || off == nil || on == nil {
+		t.Fatalf("missing series: %+v", fig.Series)
+	}
+	// Assert on the last sweep point — the widest cluster, where the
+	// lease-off vote-phase penalty is largest and the margin is widest.
+	last := len(off.Y) - 1
+	if last < 0 || len(on.Y) != len(off.Y) || len(hits.Y) != len(off.Y) {
+		t.Fatalf("ragged series: off=%v on=%v hits=%v", off.Y, on.Y, hits.Y)
+	}
+	if hits.Y[last] == 0 {
+		t.Fatalf("lease never fired: hits=%v", hits.Y)
+	}
+	if off.Y[last] <= 0 || on.Y[last] <= 0 {
+		t.Fatalf("empty p50 samples: off=%v on=%v", off.Y, on.Y)
+	}
+	reduction := 1 - on.Y[last]/off.Y[last]
+	if reduction < 0.30 {
+		t.Fatalf("lease cut read p50 by %.0f%% (off %v µs, on %v µs), want ≥ 30%%",
+			reduction*100, off.Y[last], on.Y[last])
+	}
+}

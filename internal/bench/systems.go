@@ -119,6 +119,31 @@ func (s *CRDTSystem) Client(i int) Client {
 	return &crdtClient{node: s.clust.Node(id), slot: string(id)}
 }
 
+// Pinned returns a view of the system whose clients all attach to one
+// replica instead of spreading across the cluster. The lease figure uses
+// it: a round lease belongs to a single proposer, so the fast path only
+// shows when the read load stays put.
+func (s *CRDTSystem) Pinned(replica int) System {
+	return &pinnedSystem{CRDTSystem: s, replica: replica}
+}
+
+type pinnedSystem struct {
+	*CRDTSystem
+	replica int
+}
+
+// Client implements System: every client index maps to the pinned replica.
+func (p *pinnedSystem) Client(int) Client { return p.CRDTSystem.Client(p.replica) }
+
+// Counters sums the protocol counters across all replicas.
+func (s *CRDTSystem) Counters() core.Counters {
+	var sum core.Counters
+	for _, node := range s.clust.Nodes() {
+		sum.Add(node.Counters())
+	}
+	return sum
+}
+
 // Crash implements System.
 func (s *CRDTSystem) Crash(replica int) { s.clust.Crash(s.ids[replica%len(s.ids)]) }
 

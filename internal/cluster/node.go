@@ -646,6 +646,14 @@ func (n *Node) handle(ev nodeEvent) {
 		if ev.crash {
 			n.failEverything()
 		}
+		// Entering or leaving a crash invalidates every round lease this
+		// node holds: while it was down (or from the instant it stops
+		// serving), other proposers may move the quorum's rounds, and a
+		// resumed lease would skip the prepare that detects that. Dropping
+		// is purely conservative — the next quorum read re-earns it.
+		for _, rep := range n.replicas {
+			rep.DropLease()
+		}
 	case evRestart:
 		ev.restarted <- n.restart()
 	}

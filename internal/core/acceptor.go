@@ -18,27 +18,43 @@ func newAcceptor(s0 crdt.State) acceptor {
 }
 
 // applyUpdate executes an update function locally (lines 28-31): the new
-// state replaces the payload and the round ID is clobbered with the write
-// marker so concurrent VOTE proposals fail their round-equality check.
-func (a *acceptor) applyUpdate(fu crdt.Update) (crdt.State, error) {
+// state replaces the payload and the round is clobbered per clobberRound,
+// so concurrent VOTE proposals fail their round-equality check unless the
+// update came from the current lease holder at the preserved round.
+func (a *acceptor) applyUpdate(fu crdt.Update, keep Round) (crdt.State, error) {
 	s, err := fu(a.state)
 	if err != nil {
 		return nil, err
 	}
 	a.state = s
-	a.round.ID = writeID
+	a.clobberRound(keep)
 	return s, nil
 }
 
 // handleMerge merges a remote update's payload (lines 32-35).
-func (a *acceptor) handleMerge(s crdt.State) error {
+func (a *acceptor) handleMerge(s crdt.State, keep Round) error {
 	merged, err := a.state.Merge(s)
 	if err != nil {
 		return err
 	}
 	a.state = merged
-	a.round.ID = writeID
+	a.clobberRound(keep)
 	return nil
+}
+
+// clobberRound invalidates in-flight votes after an update mutates the
+// payload — unless the update was issued by the holder of a round lease
+// at exactly the acceptor's current round (docs/PROTOCOL.md §5), in which
+// case the round survives: the holder's own leased reads always propose a
+// superset of its updates, and any *other* proposer's committed state
+// still forces a NACK because its round differs. keep is only honored
+// when it names a real proposer round — the initRound/writeID sentinels
+// have an empty Proposer, so a zero keep never accidentally preserves the
+// initial round.
+func (a *acceptor) clobberRound(keep Round) {
+	if keep.ID.Proposer == "" || a.round != keep {
+		a.round.ID = writeID
+	}
 }
 
 // handlePrepare processes a PREPARE message (lines 36-42). It returns the
@@ -60,6 +76,13 @@ func (a *acceptor) handlePrepare(r Round, s crdt.State) (reply msgType, round Ro
 		a.state = merged
 	}
 	if r.Incremental() {
+		if a.round.ID == r.ID {
+			// Duplicate of an incremental prepare already adopted (round
+			// IDs are unique per prepare instance): re-ACK the adopted
+			// round instead of bumping the number again, so a proposer
+			// retransmitting over a lossy link gathers consistent rounds.
+			return msgAck, a.round, a.state, nil
+		}
 		r = Round{Number: a.round.Number + 1, ID: r.ID}
 	}
 	switch {

@@ -26,7 +26,7 @@ func TestAcceptorInitialState(t *testing.T) {
 
 func TestAcceptorApplyUpdateSetsWriteMarker(t *testing.T) {
 	a := newAcceptor(crdt.NewGCounter())
-	s, err := a.applyUpdate(inc("n1"))
+	s, err := a.applyUpdate(inc("n1"), Round{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +43,7 @@ func TestAcceptorApplyUpdateSetsWriteMarker(t *testing.T) {
 
 func TestAcceptorMergeSetsWriteMarker(t *testing.T) {
 	a := newAcceptor(crdt.NewGCounter())
-	if err := a.handleMerge(crdt.NewGCounter().Inc("x", 5)); err != nil {
+	if err := a.handleMerge(crdt.NewGCounter().Inc("x", 5), Round{}); err != nil {
 		t.Fatal(err)
 	}
 	if got := a.state.(*crdt.GCounter).Value(); got != 5 {
@@ -135,7 +135,7 @@ func TestAcceptorVoteRoundEquality(t *testing.T) {
 	}
 
 	// An update intervenes; the same round must now be denied (line 45).
-	if _, err := a.applyUpdate(inc("n1")); err != nil {
+	if _, err := a.applyUpdate(inc("n1"), Round{}); err != nil {
 		t.Fatal(err)
 	}
 	reply, nackRound, nackState, _ := a.handleVote(round, proposal)
@@ -177,9 +177,9 @@ func TestAcceptorStateMonotone(t *testing.T) {
 			seq++
 			switch op % 4 {
 			case 0:
-				_, _ = a.applyUpdate(inc("n1"))
+				_, _ = a.applyUpdate(inc("n1"), Round{})
 			case 1:
-				_ = a.handleMerge(crdt.NewGCounter().Inc("m", uint64(op)))
+				_ = a.handleMerge(crdt.NewGCounter().Inc("m", uint64(op)), Round{})
 			case 2:
 				_, _, _, _ = a.handlePrepare(Round{Number: NumberIncremental, ID: RoundID{Proposer: "p", Seq: seq}}, crdt.NewGCounter().Inc("s", uint64(op)))
 			case 3:

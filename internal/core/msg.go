@@ -42,6 +42,16 @@ const (
 	msgMergeNack
 )
 
+// msgFlagLease is OR'd into the wire type byte (docs/PROTOCOL.md §5). On
+// ACK/VOTED it is the acceptor's lease capability hint: replicas that
+// understand round leases always set it, so a proposer only installs a
+// lease when every quorum member advertised the capability — a mixed
+// cluster with pre-lease binaries simply never forms leases. On MERGE it
+// marks a lease-holder update whose round the acceptor may preserve
+// instead of clobbering. Pre-lease decoders reject the unknown high bit
+// as an invalid type, which the protocols tolerate as message loss.
+const msgFlagLease = 0x80
+
 func (t msgType) String() string {
 	switch t {
 	case msgMerge:
@@ -81,6 +91,10 @@ type message struct {
 	Attempt uint32
 	Round   Round
 
+	// Lease carries the msgFlagLease bit: a capability hint on ACK/VOTED
+	// replies, a preserve-this-round marker on lease-holder MERGEs.
+	Lease bool
+
 	Kind     wire.StateKind
 	State    crdt.State  // full payload, or the delta for wire.StateDelta
 	Digest   crdt.Digest // sender state digest (digest/full+digest), or delta result
@@ -100,12 +114,6 @@ type message struct {
 // internal/wire/state.go (kinds 0 and 1 are byte-identical to the legacy
 // hasState(1) | [state] layout).
 func (m *message) encode() ([]byte, error) {
-	w := wire.NewWriter(64)
-	w.Byte(byte(m.Type))
-	w.Uvarint(m.Req)
-	w.Uvarint(uint64(m.Attempt))
-	m.Round.encode(w)
-
 	kind := m.Kind
 	if kind == wire.StateNone && m.State != nil {
 		kind = wire.StateFull
@@ -121,15 +129,30 @@ func (m *message) encode() ([]byte, error) {
 		}
 		frame.State = raw
 	}
-	frame.Append(w)
+
+	// Marshaling the state first lets the header+frame land in one
+	// precisely sized buffer: 128 bytes generously covers the fixed header
+	// (type, varints, round, frame digests) for any realistic round/ID.
+	w := wire.MakeWriter(make([]byte, 0, 128+len(frame.State)))
+	b := byte(m.Type)
+	if m.Lease {
+		b |= msgFlagLease
+	}
+	w.Byte(b)
+	w.Uvarint(m.Req)
+	w.Uvarint(uint64(m.Attempt))
+	m.Round.encode(&w)
+	frame.Append(&w)
 	return w.Bytes(), nil
 }
 
 // decodeMessage parses a message produced by encode.
 func decodeMessage(p []byte) (*message, error) {
 	r := wire.NewReader(p)
+	raw := r.Byte()
 	m := &message{
-		Type:    msgType(r.Byte()),
+		Type:    msgType(raw &^ msgFlagLease),
+		Lease:   raw&msgFlagLease != 0,
 		Req:     r.Uvarint(),
 		Attempt: uint32(r.Uvarint()),
 		Round:   decodeRound(r),

@@ -31,12 +31,22 @@ type Options struct {
 	// payloads, or deltas (docs/PROTOCOL.md §3). It changes only how many
 	// bytes move, never what is learned.
 	Transfer StateTransfer
+
+	// Lease enables the §3.6 prepare-skip fast path (docs/PROTOCOL.md §5):
+	// after a query learns with every quorum member agreeing on the round
+	// and advertising the lease capability, the proposer records a round
+	// lease and subsequent queries go straight to the vote phase. Any
+	// NACK, lease steal, peer-failure signal, or restart falls back to the
+	// unmodified two-phase protocol, so the option changes round trips,
+	// never outcomes.
+	Lease bool
 }
 
 // DefaultOptions match the configuration evaluated in the paper (§4):
-// the §3.6 bandwidth optimizations on, GLA-Stability maintained.
+// the §3.6 bandwidth optimizations on, GLA-Stability maintained, and the
+// §3.6 prepare-skip round lease enabled.
 func DefaultOptions() Options {
-	return Options{GLAStability: true, SeedPrepare: false}
+	return Options{GLAStability: true, SeedPrepare: false, Lease: true}
 }
 
 // LearnPath records how a query learned its state, for the round-trip
@@ -71,6 +81,9 @@ type QueryStats struct {
 	Attempts int
 	// Path is the learn path of the final, successful attempt.
 	Path LearnPath
+	// Leased reports that the query took the prepare-skip fast path
+	// (docs/PROTOCOL.md §5) and learned without falling back.
+	Leased bool
 }
 
 // UpdateStats describes a completed update. Updates always take exactly one
@@ -113,6 +126,12 @@ type Replica struct {
 	acc  acceptor
 	xfer transferState // digest/delta bookkeeping (Transfer != TransferFull)
 
+	// lease is the round lease of the prepare-skip fast path, nil when no
+	// lease is held. It is deliberately volatile: never snapshotted, and
+	// dropped on ForgetPeer — a restarted or partitioned replica must
+	// re-earn its lease through a full quorum read (docs/PROTOCOL.md §5).
+	lease *leaseState
+
 	nextReq  uint64
 	nextSeq  uint64
 	version  uint64 // durable-state transition counter (see StateVersion)
@@ -150,6 +169,8 @@ type Counters struct {
 	DigestMerges       uint64 // MERGE messages sent digest-only
 	DeltaMerges        uint64 // MERGE messages sent as deltas
 	MergeFallbacks     uint64 // full-payload resends after a MERGE-NACK
+	LeaseHits          uint64 // queries learned via the prepare-skip fast path
+	LeaseFallbacks     uint64 // leased attempts that fell back to a full prepare
 }
 
 // Add accumulates o into c, field by field. Runtimes aggregating many
@@ -173,6 +194,20 @@ func (c *Counters) Add(o Counters) {
 	c.DigestMerges += o.DigestMerges
 	c.DeltaMerges += o.DeltaMerges
 	c.MergeFallbacks += o.MergeFallbacks
+	c.LeaseHits += o.LeaseHits
+	c.LeaseFallbacks += o.LeaseFallbacks
+}
+
+// leaseState is the proposer-side record of a round lease: the last
+// learned state and the round a full quorum confirmed as the highest
+// established, with every member advertising the lease capability. The
+// digest (kept under digest/delta transfer) lets a quiescent leased VOTE
+// ship no payload at all.
+type leaseState struct {
+	round  Round
+	state  crdt.State
+	digest crdt.Digest
+	hasDig bool
 }
 
 type updateReq struct {
@@ -180,6 +215,8 @@ type updateReq struct {
 	state   crdt.State  // the merged payload broadcast in MERGE
 	digest  crdt.Digest // digest of state (digest/delta transfer only)
 	hasDig  bool
+	round   Round // lease round the MERGE asks acceptors to preserve
+	lease   bool  // this update was issued while holding the lease
 	acked   map[transport.NodeID]bool
 	done    UpdateDone
 	pending int // remote MERGED replies still needed
@@ -211,6 +248,24 @@ type queryReq struct {
 	preparedDig crdt.Digest
 	hasPrepared bool
 
+	// seed is the payload the current attempt's PREPARE carried, kept so
+	// a retransmit can re-send the same attempt instead of burning it.
+	seed crdt.State
+
+	// leased marks an attempt running the prepare-skip fast path;
+	// leasable/leaseRound accumulate whether the current attempt proved a
+	// round quorum-established with every member lease-capable, making it
+	// installable on completion.
+	leased     bool
+	leasable   bool
+	leaseRound Round
+
+	// propDig is the digest of the leased attempt's proposal
+	// (digest/delta transfer only): it drives per-peer VOTE payload
+	// suppression and, once a peer VOTEDs, records that peer's view.
+	propDig    crdt.Digest
+	hasPropDig bool
+
 	rtts int
 	done QueryDone
 }
@@ -218,6 +273,7 @@ type queryReq struct {
 type ackInfo struct {
 	round Round
 	state crdt.State
+	lease bool // the acceptor advertised the lease capability
 }
 
 // NewReplica creates a protocol participant. id must appear in members,
@@ -272,7 +328,20 @@ func (r *Replica) isPeer(id transport.NodeID) bool {
 // correctness.
 func (r *Replica) ForgetPeer(peer transport.NodeID) {
 	r.xfer.forget(peer)
+	// A peer declared down is a membership-health signal: drop the round
+	// lease so the next query re-proves its round through a full quorum
+	// read rather than fast-pathing on possibly partitioned state. Purely
+	// a liveness choice — a stale lease would only cost NACKs — but it
+	// keeps fast-path behaviour predictable across failures.
+	r.lease = nil
 }
+
+// Leased reports whether the replica currently holds a round lease.
+func (r *Replica) Leased() bool { return r.lease != nil }
+
+// DropLease relinquishes the round lease, if held. Runtimes call it on
+// crash/partition signals; the next successful quorum read re-installs it.
+func (r *Replica) DropLease() { r.lease = nil }
 
 // ID returns the replica's node ID.
 func (r *Replica) ID() transport.NodeID { return r.id }
@@ -332,7 +401,17 @@ func (r *Replica) broadcast(m *message) {
 // replica) has merged. Returns the request ID, or an error if the update
 // function itself failed (in which case done is not called).
 func (r *Replica) SubmitUpdate(fu crdt.Update, done UpdateDone) (uint64, error) {
-	s, err := r.acc.applyUpdate(fu)
+	// A lease-holder update carries the leased round on its MERGEs: the
+	// holder's own leased reads always propose a superset of its updates
+	// (same serial process), so preserving the round at acceptors that
+	// still hold it keeps the fast path alive across the holder's writes.
+	// Updates from any other proposer still clobber, which is what forces
+	// a leased read overlapping a foreign committed update to fall back.
+	var keep Round
+	if r.opts.Lease && r.lease != nil {
+		keep = r.lease.round
+	}
+	s, err := r.acc.applyUpdate(fu, keep)
 	if err != nil {
 		return 0, fmt.Errorf("core: update function: %w", err)
 	}
@@ -341,6 +420,8 @@ func (r *Replica) SubmitUpdate(fu crdt.Update, done UpdateDone) (uint64, error) 
 	req := &updateReq{
 		id:      r.nextReq,
 		state:   s,
+		round:   keep,
+		lease:   keep.ID.Proposer != "",
 		acked:   make(map[transport.NodeID]bool, len(r.peers)),
 		done:    done,
 		pending: r.quorum - 1, // the local acceptor already merged
@@ -372,7 +453,7 @@ func (r *Replica) sendMerge(req *updateReq, to transport.NodeID) {
 		if view, ok := r.xfer.views[to]; ok {
 			if view.digest == req.digest {
 				r.counters.DigestMerges++
-				r.send(to, &message{Type: msgMerge, Req: req.id, Kind: wire.StateDigest, Digest: req.digest})
+				r.send(to, &message{Type: msgMerge, Req: req.id, Kind: wire.StateDigest, Digest: req.digest, Round: req.round, Lease: req.lease})
 				return
 			}
 			if r.opts.Transfer == TransferDelta && view.state != nil {
@@ -382,6 +463,7 @@ func (r *Replica) sendMerge(req *updateReq, to transport.NodeID) {
 						r.send(to, &message{
 							Type: msgMerge, Req: req.id, Kind: wire.StateDelta,
 							State: delta, Digest: req.digest, Baseline: view.digest,
+							Round: req.round, Lease: req.lease,
 						})
 						return
 					}
@@ -389,7 +471,7 @@ func (r *Replica) sendMerge(req *updateReq, to transport.NodeID) {
 			}
 		}
 	}
-	r.send(to, &message{Type: msgMerge, Req: req.id, State: req.state})
+	r.send(to, &message{Type: msgMerge, Req: req.id, State: req.state, Round: req.round, Lease: req.lease})
 }
 
 // SubmitQuery starts a query command (Algorithm 2, lines 7-24). done fires
@@ -403,7 +485,11 @@ func (r *Replica) SubmitQuery(done QueryDone) uint64 {
 		done: done,
 	}
 	r.queries[req.id] = req
-	r.startAttempt(req, Round{Number: NumberIncremental}, r.prepareSeed(nil))
+	if r.opts.Lease && r.lease != nil {
+		r.startLeaseAttempt(req)
+	} else {
+		r.startAttempt(req, Round{Number: NumberIncremental}, r.prepareSeed(nil))
+	}
 	return req.id
 }
 
@@ -420,16 +506,34 @@ func (r *Replica) prepareSeed(gathered crdt.State) crdt.State {
 	return nil
 }
 
-// startAttempt begins a (re)prepare for a query with the given round
-// template (incremental or fixed) and optional payload seed.
+// startAttempt begins a (re)prepare attempt for a query with the given
+// round template (incremental or fixed) and optional payload seed.
+// Retries are counted here and nowhere else — every path that restarts a
+// query (NACK, inconsistent rounds, vote denial, lease fallback) funnels
+// through this function, so Retries == Σ(Attempts−1) holds exactly.
 func (r *Replica) startAttempt(req *queryReq, round Round, seed crdt.State) {
 	req.attempt++
+	if req.attempt > 1 {
+		r.counters.Retries++
+	}
+	r.beginPrepare(req, round, seed)
+}
+
+// beginPrepare resets the attempt's phase state and broadcasts its
+// PREPARE. It is separate from startAttempt so a fixed prepare denied by
+// the local acceptor can morph into an incremental prepare without
+// burning another attempt — nothing of the denied prepare was broadcast,
+// so reusing the attempt number is safe and no retry is recorded.
+func (r *Replica) beginPrepare(req *queryReq, round Round, seed crdt.State) {
 	req.phase = phasePrepare
+	req.leased = false
+	req.leasable = false
 	req.acks = make(map[transport.NodeID]ackInfo, len(r.peers)+1)
 	req.votes = nil
+	req.denials = nil
 	req.proposed = nil
 	req.prepared, req.preparedDig, req.hasPrepared = nil, crdt.Digest{}, false
-	req.rtts++
+	req.seed = seed
 
 	// nextSeq advances and the local acceptor (below) merges the seed and
 	// adopts the round: one durable transition either way.
@@ -447,15 +551,15 @@ func (r *Replica) startAttempt(req *queryReq, round Round, seed crdt.State) {
 	// same serial process (§3.2). Remote acceptors get it broadcast.
 	reply, accRound, accState, err := r.acc.handlePrepare(round, seed)
 	if err == nil && reply == msgAck {
-		req.acks[r.id] = ackInfo{round: accRound, state: accState}
+		req.acks[r.id] = ackInfo{round: accRound, state: accState, lease: true}
 	} else if err == nil {
-		// A fixed prepare below the local round: retry incrementally
-		// (an incremental prepare is always self-accepted, so this does
-		// not recurse further).
+		// A fixed prepare below the local round: morph into an incremental
+		// prepare (always self-accepted, so this recurses at most once).
 		req.gathered = r.mergeGathered(req.gathered, accState)
-		r.retryQuery(req)
+		r.beginPrepare(req, Round{Number: NumberIncremental}, r.prepareSeed(req.gathered))
 		return
 	}
+	req.rtts++
 	m := &message{Type: msgPrepare, Req: req.id, Attempt: req.attempt, Round: round, State: seed}
 	if r.opts.Transfer != TransferFull {
 		// Announce the digest of the local post-prepare payload: a remote
@@ -477,6 +581,82 @@ func (r *Replica) startAttempt(req *queryReq, round Round, seed crdt.State) {
 
 	// A single-replica cluster decides immediately.
 	r.maybeDecidePrepare(req)
+}
+
+// startLeaseAttempt runs the prepare-skip fast path (docs/PROTOCOL.md §5):
+// holding a round lease, the proposer goes straight to the vote phase at
+// the leased round. The proposal merges the leased (last learned) state
+// with the local payload, so it covers everything the lease-installing
+// quorum had established plus every update this replica submitted since —
+// the two sources a linearizable read from this proposer must reflect. An
+// acceptor whose round moved on NACKs, and once a vote quorum becomes
+// impossible the query falls back to the full two-phase protocol.
+func (r *Replica) startLeaseAttempt(req *queryReq) {
+	lease := r.lease
+	req.attempt++
+	req.phase = phaseVote
+	req.leased = true
+	req.leasable = false
+	req.round = lease.round
+	req.acks = nil
+	req.votes = make(map[transport.NodeID]bool, len(r.peers)+1)
+	req.denials = make(map[transport.NodeID]bool, len(r.peers))
+	prop := r.mergeGathered(lease.state, r.acc.state)
+	req.proposed = prop
+	// gathered restarts empty: the proposal is local information (the
+	// local acceptor merges it in the synchronous vote below), so a
+	// fallback only needs to seed what remote denials actually taught us.
+	req.gathered = nil
+
+	// The local acceptor votes synchronously; a denial means the lease is
+	// already stale here (a foreign update or competing prepare moved the
+	// local round), so fall back before broadcasting anything.
+	reply, _, _, err := r.acc.handleVote(lease.round, prop)
+	r.version++
+	if err != nil || reply != msgVoted {
+		// Nothing was gathered from the wire yet, so the fallback starts
+		// like a fresh first attempt: unseeded (§3.6 — the local payload
+		// is never shipped in a first prepare).
+		r.leaseFallback(req)
+		return
+	}
+	req.votes[r.id] = true
+	req.rtts++
+	if r.opts.Transfer != TransferFull {
+		if d, derr := r.xfer.digests.Of(prop); derr == nil {
+			req.propDig, req.hasPropDig = d, true
+		}
+	}
+	for _, p := range r.peers {
+		m := &message{Type: msgVote, Req: req.id, Attempt: req.attempt, Round: lease.round, State: prop, Lease: true}
+		if req.hasPropDig {
+			// Digest-suppressed leased VOTE: ship no payload to a peer that
+			// provably already holds it — either the cluster is quiescent
+			// (the proposal still equals the leased state every quorum
+			// member confirmed) or this peer's last acknowledged state is
+			// exactly the proposal (it merged the holder's updates). The
+			// acceptor verifies the digest against its own payload and
+			// NACKs with the full state on any mismatch.
+			quiescent := lease.hasDig && req.propDig == lease.digest
+			view, seen := r.xfer.views[p]
+			if quiescent || (seen && view.digest == req.propDig) {
+				m.State, m.Kind, m.Digest = nil, wire.StateDigest, req.propDig
+			}
+		}
+		r.send(p, m)
+	}
+	r.maybeDecideVote(req)
+}
+
+// leaseFallback abandons the fast path for the unmodified two-phase
+// protocol: the lease is dropped (the next quorum read re-installs it)
+// and the query restarts with an incremental prepare seeded with
+// everything gathered so far, which counts as a retry.
+func (r *Replica) leaseFallback(req *queryReq) {
+	r.counters.LeaseFallbacks++
+	r.lease = nil
+	req.leased = false
+	r.startAttempt(req, Round{Number: NumberIncremental}, r.prepareSeed(req.gathered))
 }
 
 func (r *Replica) mergeGathered(acc, s crdt.State) crdt.State {
@@ -530,13 +710,19 @@ func (r *Replica) onMerge(from transport.NodeID, m *message) {
 	// correctly (safety never depends on the cache), it just recognizes
 	// fewer baselines and forces more full-state fallbacks.
 	track := r.opts.Transfer != TransferFull && r.isPeer(from)
+	// A lease-holder MERGE names the round the sender's lease rests on;
+	// acceptors still at exactly that round keep it (clobberRound).
+	keep := Round{}
+	if m.Lease {
+		keep = m.Round
+	}
 	switch m.Kind {
 	case wire.StateFull, wire.StateFullDigest:
 		if m.State == nil {
 			r.counters.MalformedMsgs++
 			return
 		}
-		if err := r.acc.handleMerge(m.State); err != nil {
+		if err := r.acc.handleMerge(m.State, keep); err != nil {
 			r.counters.MalformedMsgs++
 			return
 		}
@@ -570,7 +756,7 @@ func (r *Replica) onMerge(from transport.NodeID, m *message) {
 			r.send(from, &message{Type: msgMergeNack, Req: m.Req})
 			return
 		}
-		if err := r.acc.handleMerge(m.State); err != nil {
+		if err := r.acc.handleMerge(m.State, keep); err != nil {
 			r.counters.MalformedMsgs++
 			return
 		}
@@ -644,7 +830,10 @@ func (r *Replica) onPrepare(from transport.NodeID, m *message) {
 	} else {
 		r.counters.PreparesRejected++
 	}
-	out := &message{Type: reply, Req: m.Req, Attempt: m.Attempt, Round: round, State: state}
+	// Lease is the capability hint (docs/PROTOCOL.md §5): this acceptor
+	// understands round leases, so a proposer quorum of hinted replies may
+	// install one. Old binaries never set the bit.
+	out := &message{Type: reply, Req: m.Req, Attempt: m.Attempt, Round: round, State: state, Lease: true}
 	if m.Kind.HasDigest() && state != nil {
 		// The PREPARE announced the proposer's payload digest. If the
 		// local post-prepare payload matches, the proposer already holds
@@ -659,6 +848,51 @@ func (r *Replica) onPrepare(from transport.NodeID, m *message) {
 }
 
 func (r *Replica) onVote(from transport.NodeID, m *message) {
+	digestVerified := false
+	if m.Kind == wire.StateDigest {
+		// Digest-suppressed leased VOTE: the holder proposes the exact
+		// state it believes this acceptor already has. Verify by digest —
+		// on a match the merge-before-reply of handleVote is a no-op and
+		// voting is a pure round check; on a mismatch deny with the full
+		// local state so the proposer gathers it and falls back.
+		own, derr := r.xfer.digests.Of(r.acc.state)
+		if derr != nil || own != m.Digest {
+			r.counters.VotesRejected++
+			r.send(from, &message{Type: msgNack, Req: m.Req, Attempt: m.Attempt, Round: r.acc.round, State: r.acc.state, Lease: true})
+			return
+		}
+		digestVerified = true
+		m.State = nil
+	} else if m.Lease {
+		// A leased VOTE skipped the prepare phase, so the round-equality
+		// check alone does not prove the proposal covers this acceptor —
+		// an incremental PREPARE delivered late can re-mint the leased
+		// round (Number = local+1 collides) at an acceptor whose payload
+		// moved on. Re-verify the consistent-quorum condition here: vote
+		// only if the local payload is covered by the proposal. Any update
+		// committed before the read began sits in a quorum of payloads and
+		// so forces a denial in every intersecting vote quorum.
+		if m.State == nil {
+			r.counters.MalformedMsgs++
+			return
+		}
+		le, cerr := r.acc.state.Compare(m.State)
+		if cerr != nil {
+			r.counters.MalformedMsgs++
+			return
+		}
+		if !le {
+			// Merge-before-deny (Lemma 3.4(ii)): the proposer gathers the
+			// denial's state, so its fallback retry converges.
+			if merged, merr := r.acc.state.Merge(m.State); merr == nil {
+				r.acc.state = merged
+				r.version++
+			}
+			r.counters.VotesRejected++
+			r.send(from, &message{Type: msgNack, Req: m.Req, Attempt: m.Attempt, Round: r.acc.round, State: r.acc.state, Lease: true})
+			return
+		}
+	}
 	reply, round, state, err := r.acc.handleVote(m.Round, m.State)
 	if err != nil {
 		r.counters.MalformedMsgs++
@@ -670,7 +904,15 @@ func (r *Replica) onVote(from transport.NodeID, m *message) {
 	} else {
 		r.counters.VotesRejected++
 	}
-	r.send(from, &message{Type: reply, Req: m.Req, Attempt: m.Attempt, Round: round, State: state})
+	out := &message{Type: reply, Req: m.Req, Attempt: m.Attempt, Round: round, State: state, Lease: true}
+	if reply == msgNack && digestVerified {
+		// Round-mismatch denial of a digest-verified leased VOTE: the
+		// payload here IS the proposer's proposal, so the digest alone
+		// lets the proposer resolve the denial's state without shipping
+		// a full payload back.
+		out.State, out.Kind, out.Digest = nil, wire.StateDigest, m.Digest
+	}
+	r.send(from, out)
 }
 
 // --- proposer-side message handling ---
@@ -750,7 +992,7 @@ func (r *Replica) onAck(from transport.NodeID, m *message) {
 		r.counters.MalformedMsgs++
 		return
 	}
-	req.acks[from] = ackInfo{round: m.Round, state: state}
+	req.acks[from] = ackInfo{round: m.Round, state: state, lease: m.Lease}
 	req.gathered = r.mergeGathered(req.gathered, state)
 	r.maybeDecidePrepare(req)
 }
@@ -762,13 +1004,36 @@ func (r *Replica) maybeDecidePrepare(req *queryReq) {
 	if req.phase != phasePrepare || len(req.acks) < r.quorum {
 		return
 	}
+	// One sweep over the quorum: state identity, round agreement, and the
+	// lease capability hints. Round agreement is the lease precondition
+	// and is NOT automatic even when every ACK answered our own prepare —
+	// under incremental prepares each acceptor substitutes its own
+	// number+1, so concurrent traffic leaves them disagreeing.
 	states := make([]crdt.State, 0, len(req.acks))
 	identical := true
+	var common Round
+	sameRound := true
+	allLeased := true
+	first := true
 	for _, a := range req.acks {
 		if len(states) > 0 && a.state != states[0] {
 			identical = false
 		}
 		states = append(states, a.state)
+		if first {
+			common, first = a.round, false
+		} else if a.round != common {
+			sameRound = false
+		}
+		if !a.lease {
+			allLeased = false
+		}
+	}
+	if r.opts.Lease && sameRound && allLeased {
+		// Whatever this attempt learns, the quorum has confirmed common as
+		// the highest round established and every member is lease-capable:
+		// the lease is installable once the query completes.
+		req.leasable, req.leaseRound = true, common
 	}
 	if identical {
 		// Every ACK resolved to the same state value — the norm under
@@ -800,19 +1065,6 @@ func (r *Replica) maybeDecidePrepare(req *queryReq) {
 	}
 
 	// (b) Consistent rounds: propose ⊔S̆ under the common round.
-	var common Round
-	first := true
-	sameRound := true
-	for _, a := range req.acks {
-		if first {
-			common, first = a.round, false
-			continue
-		}
-		if a.round != common {
-			sameRound = false
-			break
-		}
-	}
 	if sameRound {
 		req.phase = phaseVote
 		req.proposed = lub
@@ -846,7 +1098,6 @@ func (r *Replica) maybeDecidePrepare(req *queryReq) {
 			max = a.round
 		}
 	}
-	r.counters.Retries++
 	r.startAttempt(req, Round{Number: max.Number + 1}, r.prepareSeed(req.gathered))
 }
 
@@ -857,6 +1108,19 @@ func (r *Replica) onVoted(from transport.NodeID, m *message) {
 		return
 	}
 	req.votes[from] = true
+	if !m.Lease {
+		req.leasable = false
+	}
+	if req.leased && req.hasPropDig && r.isPeer(from) {
+		// VOTED to a leased VOTE confirms the peer merged the proposal
+		// before replying, so the proposal is a sound per-peer baseline —
+		// the next leased read or digest/delta MERGE can build on it.
+		view := &peerView{digest: req.propDig}
+		if r.opts.Transfer == TransferDelta {
+			view.state = req.proposed
+		}
+		r.xfer.views[from] = view
+	}
 	r.maybeDecideVote(req)
 }
 
@@ -880,8 +1144,14 @@ func (r *Replica) onNack(from transport.NodeID, m *message) {
 	state := m.State
 	if m.Kind == wire.StateDigest && req.hasPrepared && m.Digest == req.preparedDig {
 		state = req.prepared // digest-only NACK: the acceptor holds our prepared state
+	} else if m.Kind == wire.StateDigest && req.hasPropDig && m.Digest == req.propDig {
+		state = req.proposed // digest-only NACK to a leased VOTE: it holds our proposal
 	}
-	req.gathered = r.mergeGathered(req.gathered, state)
+	if state != req.proposed {
+		// The proposal itself is never worth gathering: the local acceptor
+		// merged it when it voted, so a retry's learn already covers it.
+		req.gathered = r.mergeGathered(req.gathered, state)
+	}
 	switch req.phase {
 	case phasePrepare:
 		// A prepare NACK (fixed prepare below the acceptor's round) dooms
@@ -896,7 +1166,11 @@ func (r *Replica) onNack(from transport.NodeID, m *message) {
 		replies := len(req.votes) + len(req.denials)
 		outstanding := len(r.peers) + 1 - replies
 		if len(req.votes)+outstanding < r.quorum {
-			r.retryQuery(req)
+			if req.leased {
+				r.leaseFallback(req)
+			} else {
+				r.retryQuery(req)
+			}
 		}
 	}
 }
@@ -906,7 +1180,6 @@ func (r *Replica) onNack(from transport.NodeID, m *message) {
 // guarantees eventual liveness; each failed iteration folds at least one
 // more acceptor's updates into the seed (§3.5).
 func (r *Replica) retryQuery(req *queryReq) {
-	r.counters.Retries++
 	r.startAttempt(req, Round{Number: NumberIncremental}, r.prepareSeed(req.gathered))
 }
 
@@ -917,6 +1190,25 @@ func (r *Replica) finishQuery(req *queryReq, learned crdt.State, path LearnPath)
 		r.counters.ConsistentQuorum++
 	} else {
 		r.counters.ByVote++
+	}
+
+	if req.leased {
+		r.counters.LeaseHits++
+		// Refresh the lease with the just-learned state so the next leased
+		// read's digest matches again — unless it was dropped or replaced
+		// while this read was in flight (never resurrect a dropped lease).
+		if r.lease != nil && r.lease.round == req.round {
+			r.installLease(req.round, learned)
+		}
+	} else if req.leasable {
+		// Install a fresh lease: the attempt proved leaseRound is the
+		// highest round established in a quorum with every member
+		// lease-capable. Never replace a newer lease with an older round —
+		// a concurrent query may have installed one while this attempt's
+		// stragglers arrived.
+		if r.lease == nil || !req.leaseRound.Less(r.lease.round) {
+			r.installLease(req.leaseRound, learned)
+		}
 	}
 
 	if r.opts.GLAStability {
@@ -934,28 +1226,90 @@ func (r *Replica) finishQuery(req *queryReq, learned crdt.State, path LearnPath)
 	}
 
 	if req.done != nil {
-		req.done(learned, QueryStats{RoundTrips: req.rtts, Attempts: int(req.attempt), Path: path}, nil)
+		req.done(learned, QueryStats{RoundTrips: req.rtts, Attempts: int(req.attempt), Path: path, Leased: req.leased}, nil)
 	}
+}
+
+// installLease records (or refreshes) the round lease. The digest of the
+// leased state is memoized under digest/delta transfer so quiescent
+// leased VOTEs can ship no payload.
+func (r *Replica) installLease(round Round, state crdt.State) {
+	l := &leaseState{round: round, state: state}
+	if r.opts.Transfer != TransferFull {
+		if d, err := r.xfer.digests.Of(state); err == nil {
+			l.digest, l.hasDig = d, true
+		}
+	}
+	r.lease = l
 }
 
 // Retransmit re-drives an in-flight request after a runtime timeout,
 // covering message loss. Updates re-broadcast MERGE to acceptors that have
 // not acknowledged (idempotent: merge is) — always as the full payload,
 // since a lost digest or delta frame is indistinguishable from a receiver
-// that could not use it. Queries restart with a fresh incremental prepare,
-// which is always safe (§3.2) — replies to the stale attempt are discarded
-// by the attempt check.
+// that could not use it. Queries re-send the current attempt's outstanding
+// messages: progress already gathered (ACKs, VOTEDs) is kept, the attempt
+// is not burned, and no retry is recorded — re-delivery is idempotent at
+// the acceptor, and an acceptor that moved on answers NACK, which drives
+// the normal retry machinery.
 func (r *Replica) Retransmit(reqID uint64) {
 	if req, ok := r.updates[reqID]; ok {
 		for _, p := range r.peers {
 			if !req.acked[p] {
-				r.send(p, &message{Type: msgMerge, Req: req.id, State: req.state})
+				r.send(p, &message{Type: msgMerge, Req: req.id, State: req.state, Round: req.round, Lease: req.lease})
 			}
 		}
 		return
 	}
 	if req, ok := r.queries[reqID]; ok {
-		r.retryQuery(req)
+		r.retransmitQuery(req)
+	}
+}
+
+// retransmitQuery re-sends the in-flight attempt's messages to the peers
+// that have not answered it.
+func (r *Replica) retransmitQuery(req *queryReq) {
+	switch req.phase {
+	case phasePrepare:
+		m := &message{Type: msgPrepare, Req: req.id, Attempt: req.attempt, Round: req.round, State: req.seed}
+		if req.hasPrepared {
+			m.Digest = req.preparedDig
+			if req.seed == nil {
+				m.Kind = wire.StateDigest
+			} else {
+				m.Kind = wire.StateFullDigest
+			}
+		}
+		for _, p := range r.peers {
+			if _, ok := req.acks[p]; !ok {
+				r.send(p, m)
+			}
+		}
+	case phaseVote:
+		if len(req.denials) > 0 {
+			// Vote-grace period (Figure 4): a denied vote waits only for
+			// acceptors that may still outvote the denial, but a silently
+			// crashed or partitioned acceptor never replies at all — it
+			// cannot be distinguished from a slow one except by this
+			// timeout. Re-sending the same VOTE cannot help (the denial
+			// stands until the round moves), so treat the vote as
+			// undecidable and retry through the normal NACK machinery.
+			if req.leased {
+				r.leaseFallback(req)
+			} else {
+				r.retryQuery(req)
+			}
+			return
+		}
+		// Always the full proposal, never digest-suppressed: a lost leased
+		// VOTE is indistinguishable from a receiver that could not verify
+		// the digest.
+		m := &message{Type: msgVote, Req: req.id, Attempt: req.attempt, Round: req.round, State: req.proposed, Lease: req.leased}
+		for _, p := range r.peers {
+			if !req.votes[p] && !req.denials[p] {
+				r.send(p, m)
+			}
+		}
 	}
 }
 
@@ -982,6 +1336,14 @@ func (r *Replica) RetransmitAll() {
 func (r *Replica) Abort(reqID uint64) {
 	if req, ok := r.updates[reqID]; ok {
 		delete(r.updates, reqID)
+		if req.hasDig && len(req.acked) < len(r.peers) {
+			// The client gives up, but the payload must still reach every
+			// peer: a digest or delta MERGE a peer rejects is answered
+			// from the retired slot with the full state (onMergeNack) —
+			// without this, an aborted delta-mode update could leave that
+			// peer unconverged until unrelated later traffic.
+			r.retired = req
+		}
 		if req.done != nil {
 			req.done(UpdateStats{}, ErrAborted)
 		}

@@ -94,6 +94,12 @@ func (r *Replica) Restore(snap Snapshot) error {
 	if snap.NextSeq > r.nextSeq {
 		r.nextSeq = snap.NextSeq
 	}
+	// The round lease is deliberately absent from Snapshot and dropped
+	// here: a restarted replica must re-earn its fast path through a full
+	// quorum read — while it was down, other proposers may have moved the
+	// quorum's rounds, and resuming a pre-crash lease would skip the very
+	// prepare that detects that.
+	r.lease = nil
 	r.version++
 	return nil
 }

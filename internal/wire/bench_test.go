@@ -1,0 +1,87 @@
+package wire
+
+import "testing"
+
+// The hot encode paths — protocol messages, state frames, envelopes —
+// promise exactly one allocation per encoded frame: the output buffer
+// itself. These tests pin that promise with AllocsPerRun so a regression
+// (an escaping Writer, an undersized buffer forcing append to grow) fails
+// the suite, and the benchmarks report allocs/op for the CI bench-smoke
+// guard (`go test -bench . -benchmem ./internal/wire/`).
+
+// encodeRepresentative builds a frame shaped like the protocol's VOTE
+// with a delta state transfer — the widest layout on the hot path: a
+// type byte, request/attempt varints, a round (number + proposer +
+// sequence), and a delta state frame (two digests plus payload).
+func encodeRepresentative(proposer string, payload []byte) []byte {
+	var digest, baseline [DigestSize]byte
+	w := MakeWriter(make([]byte, 0, 128+2*len(proposer)+len(payload)))
+	w.Byte(0x05)
+	w.Uvarint(42)   // request ID
+	w.Uvarint(3)    // attempt
+	w.Varint(17)    // round number
+	w.Str(proposer) // round ID proposer
+	w.Uvarint(9)    // round ID sequence
+	StateFrame{Kind: StateDelta, State: payload, Digest: digest, Baseline: baseline}.Append(&w)
+	return w.Bytes()
+}
+
+func TestEncodeAllocs(t *testing.T) {
+	payload := make([]byte, 512)
+	frame := PackEnvelope("accounts/alice", payload)
+	cases := []struct {
+		name string
+		want float64
+		fn   func()
+	}{
+		{"message", 1, func() { encodeRepresentative("n1", payload) }},
+		{"envelope", 1, func() { PackEnvelope("accounts/alice", payload) }},
+		// Unpacking borrows the frame's tail for the payload; its single
+		// allocation is the objectID string.
+		{"unpack", 1, func() { _, _, _ = UnpackEnvelope(frame) }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if got := testing.AllocsPerRun(200, tc.fn); got > tc.want {
+				t.Fatalf("%s: %.1f allocs/op, want ≤ %.0f", tc.name, got, tc.want)
+			}
+		})
+	}
+}
+
+func BenchmarkEncodeMessage(b *testing.B) {
+	payload := make([]byte, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		encodeRepresentative("n1", payload)
+	}
+}
+
+func BenchmarkPackEnvelope(b *testing.B) {
+	payload := make([]byte, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		PackEnvelope("accounts/alice", payload)
+	}
+}
+
+func BenchmarkUnpackEnvelope(b *testing.B) {
+	frame := PackEnvelope("accounts/alice", make([]byte, 512))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := UnpackEnvelope(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStateFrameAppend(b *testing.B) {
+	payload := make([]byte, 512)
+	var digest, baseline [DigestSize]byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := MakeWriter(make([]byte, 0, 1+2*DigestSize+8+len(payload)))
+		StateFrame{Kind: StateDelta, State: payload, Digest: digest, Baseline: baseline}.Append(&w)
+	}
+}

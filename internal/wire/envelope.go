@@ -13,11 +13,13 @@ package wire
 // tail is safe; callers treating payloads as immutable (as all decoders in
 // this repository do) see no aliasing.
 
-// PackEnvelope prefixes a protocol message with its object ID.
+// PackEnvelope prefixes a protocol message with its object ID. It costs
+// exactly one allocation — the returned frame.
 func PackEnvelope(objectID string, payload []byte) []byte {
-	w := NewWriter(len(objectID) + len(payload) + 4)
+	w := MakeWriter(make([]byte, 0, len(objectID)+len(payload)+4))
 	w.Str(objectID)
-	return append(w.Bytes(), payload...)
+	w.Fixed(payload)
+	return w.Bytes()
 }
 
 // UnpackEnvelope splits a frame produced by PackEnvelope into the object ID

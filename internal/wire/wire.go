@@ -19,6 +19,12 @@ func NewWriter(sizeHint int) *Writer {
 	return &Writer{b: make([]byte, 0, sizeHint)}
 }
 
+// MakeWriter returns a by-value writer appending to buf (normally an
+// empty slice with the desired capacity). It performs no allocation of
+// its own, so hot encode paths that can size their output precisely pay
+// exactly one allocation — the buffer they pass in.
+func MakeWriter(buf []byte) Writer { return Writer{b: buf} }
+
 // Bytes returns the encoded message. The writer must not be reused after.
 func (w *Writer) Bytes() []byte { return w.b }
 
