@@ -9,7 +9,12 @@
 // mesh emulated, one throughput grid of clients × keyspace size, and
 // -figure bytes runs the state-transfer sweep: replica-wire bytes per
 // operation vs object size for the full/digest/delta -state-transfer
-// modes, measured with transport byte counters (wall-clock independent).
+// modes, measured with transport byte counters (wall-clock independent),
+// -figure lease measures the round-lease query fast path on a hot-key
+// read-after-write session, and -figure protocols races the paper's
+// protocol against Multi-Paxos RSM, Raft RSM, and generalized lattice
+// agreement on a shared keyed workload in virtual time (deterministic
+// per seed; see internal/shootout).
 //
 // The default scale finishes in minutes; raise -duration and -clients to
 // approach the paper's 10-minute, 4096-client runs.
@@ -22,6 +27,7 @@
 //	bench -figure keys -keys 1,4,16,64,256 -per-key 2
 //	bench -figure clients -keys 1,4,16 -clients 8,64,256
 //	bench -figure bytes -sizes 10,100,1000
+//	bench -figure protocols -out .
 package main
 
 import (
@@ -47,7 +53,7 @@ func main() {
 
 func run() error {
 	var (
-		figure   = flag.String("figure", "all", "figure to regenerate: 1, 2, 3, 4, keys, clients, bytes, lease, or all")
+		figure   = flag.String("figure", "all", "figure to regenerate: 1, 2, 3, 4, keys, clients, bytes, lease, protocols, or all")
 		duration = flag.Duration("duration", 2*time.Second, "measurement duration per data point (paper: 10m)")
 		warmup   = flag.Duration("warmup", 300*time.Millisecond, "warm-up excluded from statistics")
 		clients  = flag.String("clients", "1,8,64,256", "comma-separated client sweep (paper: 1..4096)")
@@ -125,13 +131,19 @@ func run() error {
 				return err
 			}
 			return saveFig(fig)
+		case "protocols":
+			fig, err := bench.FigureProtocols(out, scale)
+			if err != nil {
+				return err
+			}
+			return saveFig(fig)
 		default:
 			return fmt.Errorf("unknown figure %q", fig)
 		}
 	}
 
 	if *figure == "all" {
-		for _, fig := range []string{"1", "2", "3", "4", "keys", "clients", "bytes", "lease"} {
+		for _, fig := range []string{"1", "2", "3", "4", "keys", "clients", "bytes", "lease", "protocols"} {
 			if err := runOne(fig); err != nil {
 				return err
 			}

@@ -126,13 +126,16 @@ type Replica struct {
 	// Acceptor state: the accepted value only ever grows.
 	accepted CmdSet
 
-	// Proposer state.
+	// Proposer state. The proposal is immutable for the lifetime of its
+	// seq: refinement mints a new seq with a fresh ack set, so an ack can
+	// only ever count toward the exact value the acceptor saw. Ack and
+	// reject sets are keyed by node, making duplicated replies idempotent.
 	active   bool
 	seq      uint64
 	proposal CmdSet
 	buffered CmdSet
-	acks     int
-	rejects  int
+	acks     map[transport.NodeID]bool
+	rejects  map[transport.NodeID]bool
 	onLearn  LearnedFn
 
 	outbox []Envelope
@@ -200,20 +203,45 @@ func (r *Replica) startProposal() {
 		return
 	}
 	r.active = true
+	r.propose(r.proposal.Union(r.buffered))
+}
+
+// propose broadcasts val ∪ accepted under a fresh seq and self-accepts it.
+// Folding in the replica's own accepted value is load-bearing: as an
+// acceptor it may have acked a larger value since the last broadcast, and
+// the acceptor state must never shrink below a value it acked — otherwise
+// a later ack would not subsume it and two incomparable values could both
+// be learned.
+func (r *Replica) propose(val CmdSet) {
 	r.seq++
-	r.proposal = r.proposal.Union(r.buffered)
+	r.proposal = val.Union(r.accepted)
 	r.buffered = NewCmdSet()
-	// Self-accept, then broadcast. The proposal always includes our own
-	// accepted value by construction of refinement.
-	r.proposal = r.proposal.Union(r.accepted)
 	r.accepted = r.proposal
-	r.acks = 1
-	r.rejects = 0
+	r.acks = map[transport.NodeID]bool{r.id: true}
+	r.rejects = make(map[transport.NodeID]bool)
 	for _, p := range r.peers {
 		r.send(p, &message{Type: mPropose, Seq: r.seq, Val: r.proposal})
 	}
 	r.maybeDecide()
 }
+
+// Retransmit rebroadcasts the active proposal to peers that have not
+// answered its seq, recovering from lost proposals or replies. Acceptors
+// whose value has since grown past the proposal answer NACK, which routes
+// into the normal refinement path.
+func (r *Replica) Retransmit() {
+	if !r.active {
+		return
+	}
+	for _, p := range r.peers {
+		if !r.acks[p] && !r.rejects[p] {
+			r.send(p, &message{Type: mPropose, Seq: r.seq, Val: r.proposal})
+		}
+	}
+}
+
+// InFlight reports whether a proposal is awaiting a decision.
+func (r *Replica) InFlight() bool { return r.active }
 
 // Deliver processes one inbound message.
 func (r *Replica) Deliver(from transport.NodeID, payload []byte) {
@@ -223,54 +251,49 @@ func (r *Replica) Deliver(from transport.NodeID, payload []byte) {
 	}
 	switch m.Type {
 	case mPropose:
-		if r.accepted.Includes(m.Val) || m.Val.Includes(r.accepted) {
-			// Comparable: accept the union.
-			r.accepted = r.accepted.Union(m.Val)
+		// Accept only a proposal that subsumes the accepted value. The
+		// subset direction must NOT be accepted: the learned-value chain
+		// proof needs "ack ⇒ proposal ⊇ accepted at ack time", so that a
+		// later ack from the same acceptor implies the later proposal
+		// includes every previously acked one. (Accepting subsets breaks
+		// under duplication: a re-delivered proposal that NACKed first
+		// would ack once the union catches up, and two incomparable values
+		// could both reach quorum.)
+		if m.Val.Includes(r.accepted) {
+			r.accepted = m.Val
 			r.send(from, &message{Type: mAcceptAck, Seq: m.Seq})
 		} else {
-			// Incomparable: reject with the union so the proposer refines.
 			r.accepted = r.accepted.Union(m.Val)
 			r.send(from, &message{Type: mRejectNack, Seq: m.Seq, Val: r.accepted})
 		}
 	case mAcceptAck:
-		if !r.active || m.Seq != r.seq {
+		if !r.active || m.Seq != r.seq || r.acks[from] {
 			return
 		}
-		r.acks++
+		r.acks[from] = true
 		r.maybeDecide()
 	case mRejectNack:
 		if !r.active || m.Seq != r.seq {
 			return
 		}
-		r.rejects++
-		r.proposal = r.proposal.Union(m.Val)
-		r.maybeDecide()
+		// Refine immediately: fold the acceptor's value into the next
+		// proposal and rebroadcast under a new seq. Stale acks for the old
+		// seq are ignored; the refined proposal strictly grows, so the
+		// lattice height (≤ distinct commands) bounds the number of
+		// refinements.
+		r.propose(r.proposal.Union(m.Val).Union(r.buffered))
 	}
 }
 
 func (r *Replica) maybeDecide() {
-	if !r.active {
+	if !r.active || len(r.acks) < r.quorum {
 		return
 	}
-	if r.acks >= r.quorum {
-		// Learned.
-		learned := r.proposal
-		seq := r.seq
-		r.active = false
-		if r.onLearn != nil {
-			r.onLearn(learned, seq)
-		}
-		r.startProposal() // propose buffered commands, if any
-		return
+	learned := r.proposal
+	seq := r.seq
+	r.active = false
+	if r.onLearn != nil {
+		r.onLearn(learned, seq)
 	}
-	if r.rejects > 0 && r.acks+r.rejects > len(r.peers) {
-		// Refine and retry with the enlarged proposal.
-		r.seq++
-		r.accepted = r.accepted.Union(r.proposal)
-		r.acks = 1
-		r.rejects = 0
-		for _, p := range r.peers {
-			r.send(p, &message{Type: mPropose, Seq: r.seq, Val: r.proposal})
-		}
-	}
+	r.startProposal() // propose buffered commands, if any
 }

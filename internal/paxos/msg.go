@@ -62,6 +62,7 @@ type message struct {
 	ReqID    uint64    // Forward correlation
 	Err      string    // ForwardResp error
 	Read     bool      // Forward: command is a read; serve from the lease
+	Sent     int64     // Heartbeat: leader send time (unix nanos), echoed in the ack
 }
 
 func encodeBallot(w *wire.Writer, b Ballot) {
@@ -93,6 +94,7 @@ func (m *message) encode() []byte {
 	w.Uvarint(m.ReqID)
 	w.Str(m.Err)
 	w.Bool(m.Read)
+	w.Varint(m.Sent)
 	return w.Bytes()
 }
 
@@ -120,6 +122,7 @@ func decodeMessage(p []byte) (*message, error) {
 	m.ReqID = r.Uvarint()
 	m.Err = r.Str()
 	m.Read = r.Bool()
+	m.Sent = r.Varint()
 	if err := r.Done(); err != nil {
 		return nil, fmt.Errorf("paxos: decode: %w", err)
 	}

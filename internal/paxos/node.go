@@ -274,7 +274,7 @@ func (n *Node) handle(ev pxEvent) {
 		n.resetElectionTimer()
 	case pevHeartbeat:
 		if !n.crashed {
-			n.replica.HeartbeatTick()
+			n.replica.HeartbeatTick(n.cfg.Clock.Now())
 		}
 		n.cfg.Clock.AfterFunc(n.cfg.HeartbeatInterval, n.heartbeatTick)
 	case pevSetCrashed:

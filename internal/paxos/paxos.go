@@ -3,6 +3,7 @@ package paxos
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"crdtsmr/internal/rsm"
@@ -65,9 +66,22 @@ type Replica struct {
 	// Follower lease promise: no promise to other ballots until this time.
 	leaseHoldUntil time.Time
 
+	// readBarrier is the highest slot adopted when this replica last won an
+	// election. Lease reads are disabled until it is applied: a fresh leader
+	// holds acks (so its lease looks valid) before it has re-committed the
+	// previous leader's suffix, and serving reads in that window would miss
+	// entries that were already committed and acknowledged to clients.
+	readBarrier uint64
+
 	// Client forwarding (origin side).
 	forwards      map[uint64]Done
 	nextForwardID uint64
+
+	// Forward dedup (receiver side): request IDs already seen per origin.
+	// The network may duplicate a forwarded command; without this a leader
+	// would append — and commit — the same non-idempotent command twice.
+	forwardSeen map[transport.NodeID]map[uint64]struct{}
+	forwardMax  map[transport.NodeID]uint64
 
 	// LeaseDuration bounds both the leader's local-read window and the
 	// followers' promise-withholding window. Must be identical clusterwide.
@@ -110,6 +124,8 @@ func NewReplica(id transport.NodeID, members []transport.NodeID, sm rsm.StateMac
 		base:          1,
 		nextSlot:      1,
 		forwards:      make(map[uint64]Done),
+		forwardSeen:   make(map[transport.NodeID]map[uint64]struct{}),
+		forwardMax:    make(map[transport.NodeID]uint64),
 		LeaseDuration: 500 * time.Millisecond,
 		CompactEvery:  4096,
 	}, nil
@@ -165,6 +181,20 @@ func (r *Replica) slotAt(n uint64) *slot {
 // The runtime calls this on leader-liveness timeout; now is the lease
 // clock (a follower that recently renewed another leader's lease refuses).
 func (r *Replica) StartElection(now time.Time) {
+	if r.role == leading {
+		// A leader holding a valid lease is its own liveness proof: the
+		// runtime's election timer only resets on messages that indicate a
+		// live leader, which the leader itself never receives, so without
+		// this guard a healthy leader deposes itself every election timeout
+		// (dropping its lease and in-flight proposals with it).
+		if r.leaseValid(now) {
+			return
+		}
+		// Deposing ourselves: in-flight proposals may still commit under
+		// the old ballot, but their callbacks cannot survive the ballot
+		// change — fail them as fate-unknown, exactly like stepDown does.
+		r.failProposals()
+	}
 	r.prepareBallot = Ballot{N: r.promised.N + 1, ID: r.id}
 	r.promised = r.prepareBallot
 	r.role = preparing
@@ -215,6 +245,7 @@ func (r *Replica) maybeLead() {
 		}
 	}
 	r.nextSlot = maxSlot + 1
+	r.readBarrier = maxSlot
 	for n := r.commitUpTo + 1; n <= maxSlot; n++ {
 		cmd := rsm.EncodeNoop()
 		if a, ok := adopted[n]; ok {
@@ -264,7 +295,7 @@ func (r *Replica) submit(cmd []byte, read bool, done Done) {
 // reports false if this replica is not a leader with a valid lease, in
 // which case the caller must fall back to Propose with a read command.
 func (r *Replica) ReadLocal(now time.Time, cmd []byte) ([]byte, bool) {
-	if r.role != leading || !r.leaseValid(now) {
+	if r.role != leading || r.lastApplied < r.readBarrier || !r.leaseValid(now) {
 		return nil, false
 	}
 	return r.sm.Apply(cmd), true
@@ -303,8 +334,12 @@ func (r *Replica) proposeSlot(n uint64, cmd []byte, done Done) {
 }
 
 // HeartbeatTick makes a leader broadcast liveness, its commit watermark,
-// and the cluster-wide applied watermark used for log truncation.
-func (r *Replica) HeartbeatTick() {
+// and the cluster-wide applied watermark used for log truncation. now is
+// the lease clock: it rides the heartbeat and is echoed in the ack, so the
+// leader's lease window is anchored at send time. Anchoring at ack-receive
+// time would let the leader serve reads for one network round trip after a
+// follower's promise-withholding window lapsed — a stale-read hole.
+func (r *Replica) HeartbeatTick(now time.Time) {
 	if r.role != leading {
 		return
 	}
@@ -319,7 +354,29 @@ func (r *Replica) HeartbeatTick() {
 		Ballot:   r.prepareBallot,
 		UpTo:     r.commitUpTo,
 		Truncate: trunc,
+		Sent:     now.UnixNano(),
 	})
+	// Retransmit un-chosen proposals to peers that have not accepted them:
+	// an accept (or its ack) can be lost, and nothing else re-offers the
+	// slot, so a single drop would wedge the commit pipeline behind it
+	// forever. Re-accepting is idempotent (same ballot, same slot). Walk
+	// slots in order, not the accepts map — send order must be
+	// deterministic for same-seed runs to decide identically.
+	for n := r.commitUpTo + 1; n < r.nextSlot; n++ {
+		acks := r.accepts[n]
+		if acks == nil {
+			continue
+		}
+		s := r.slotAt(n)
+		if s == nil || s.committed || s.cmd == nil {
+			continue
+		}
+		for _, p := range r.peers {
+			if !acks[p] {
+				r.send(p, &message{Type: mAccept, Ballot: r.prepareBallot, Slot: n, Cmd: s.cmd, UpTo: r.commitUpTo})
+			}
+		}
+	}
 	r.maybeCompact(trunc)
 }
 
@@ -385,10 +442,23 @@ func (r *Replica) stepDown(b Ballot, leaderID transport.NodeID) {
 	r.leader = leaderID
 	r.promises = nil
 	if wasLeader {
-		for n, p := range r.proposals {
-			delete(r.proposals, n)
-			p.done(nil, ErrLostLeadership)
-		}
+		r.failProposals()
+	}
+}
+
+// failProposals fails every in-flight proposal with ErrLostLeadership, in
+// slot order — the callbacks can send messages or arm timers, so the
+// order must be deterministic for same-seed runs to decide identically.
+func (r *Replica) failProposals() {
+	slots := make([]uint64, 0, len(r.proposals))
+	for n := range r.proposals {
+		slots = append(slots, n)
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	for _, n := range slots {
+		p := r.proposals[n]
+		delete(r.proposals, n)
+		p.done(nil, ErrLostLeadership)
 	}
 }
 
@@ -554,7 +624,7 @@ func (r *Replica) onHeartbeat(from transport.NodeID, m *message, now time.Time) 
 	r.leaseHoldUntil = now.Add(r.LeaseDuration)
 	r.commitTo(m.UpTo, from)
 	r.maybeCompact(m.Truncate)
-	r.send(from, &message{Type: mHeartbeatAck, Ballot: m.Ballot, Applied: r.lastApplied})
+	r.send(from, &message{Type: mHeartbeatAck, Ballot: m.Ballot, Applied: r.lastApplied, Sent: m.Sent})
 	return true
 }
 
@@ -562,7 +632,14 @@ func (r *Replica) onHeartbeatAck(from transport.NodeID, m *message, now time.Tim
 	if r.role != leading || m.Ballot != r.prepareBallot {
 		return
 	}
-	r.leaseAcked[from] = now
+	// Anchor the lease at the heartbeat's send time (echoed by the
+	// follower), never at ack receipt: the follower's promise-withholding
+	// window starts when IT saw the heartbeat, which is before the ack got
+	// back here. Acks can be reordered by the network, so only move forward.
+	sent := time.Unix(0, m.Sent)
+	if sent.After(r.leaseAcked[from]) {
+		r.leaseAcked[from] = sent
+	}
 	r.applied[from] = m.Applied
 	// A follower that fell behind the truncation horizon needs a snapshot.
 	if m.Applied+1 < r.base {
@@ -610,7 +687,42 @@ func (r *Replica) maybeCompact(truncate uint64) {
 	r.base = truncate + 1
 }
 
+// forwardDedupWindow is how far behind an origin's highest-seen request ID
+// a remembered ID is kept. Request IDs increase per origin, so anything
+// this far back can no longer be a late first delivery.
+const forwardDedupWindow = 1 << 12
+
+// dupForward records (origin, reqID) and reports whether it was already
+// seen. Duplicates are dropped silently: the first delivery's response
+// path answers the origin, and the origin ignores unknown request IDs.
+func (r *Replica) dupForward(origin transport.NodeID, reqID uint64) bool {
+	seen := r.forwardSeen[origin]
+	if seen == nil {
+		seen = make(map[uint64]struct{})
+		r.forwardSeen[origin] = seen
+	}
+	if _, ok := seen[reqID]; ok {
+		return true
+	}
+	seen[reqID] = struct{}{}
+	if reqID > r.forwardMax[origin] {
+		r.forwardMax[origin] = reqID
+	}
+	if len(seen) > 2*forwardDedupWindow {
+		max := r.forwardMax[origin]
+		for id := range seen {
+			if id+forwardDedupWindow < max {
+				delete(seen, id)
+			}
+		}
+	}
+	return false
+}
+
 func (r *Replica) onForward(from transport.NodeID, m *message, now time.Time) {
+	if r.dupForward(from, m.ReqID) {
+		return
+	}
 	if r.role != leading {
 		r.send(from, &message{Type: mForwardResp, ReqID: m.ReqID, Err: ErrNoLeader.Error()})
 		return

@@ -149,7 +149,7 @@ func TestProposeChooseApply(t *testing.T) {
 		t.Fatal("command not chosen")
 	}
 	// Followers learn the commit with the next message round.
-	nw.reps["n1"].HeartbeatTick()
+	nw.reps["n1"].HeartbeatTick(nw.now)
 	nw.pump()
 	nw.drain()
 	for id, sm := range nw.sms {
@@ -189,7 +189,7 @@ func TestReadLeaseLocalRead(t *testing.T) {
 	leaderRep.Propose(rsm.EncodeInc(6), nil)
 	nw.pump()
 	nw.drain()
-	leaderRep.HeartbeatTick()
+	leaderRep.HeartbeatTick(nw.now)
 	nw.pump()
 	nw.drain()
 
@@ -212,7 +212,7 @@ func TestReadLeaseLocalRead(t *testing.T) {
 func TestLeaseBlocksCompetingElection(t *testing.T) {
 	nw := newPNet(t, 3)
 	nw.elect("n1")
-	nw.reps["n1"].HeartbeatTick()
+	nw.reps["n1"].HeartbeatTick(nw.now)
 	nw.pump()
 	nw.drain()
 
@@ -256,7 +256,7 @@ func TestNewLeaderAdoptsAcceptedCommands(t *testing.T) {
 		t.Fatal("n2 did not win")
 	}
 	nw.drain()
-	nw.reps["n2"].HeartbeatTick()
+	nw.reps["n2"].HeartbeatTick(nw.now)
 	nw.pump()
 	nw.drain()
 
@@ -322,12 +322,12 @@ func TestLogTruncation(t *testing.T) {
 		leaderRep.Propose(rsm.EncodeInc(1), nil)
 		nw.pump()
 		nw.drain()
-		leaderRep.HeartbeatTick()
+		leaderRep.HeartbeatTick(nw.now)
 		nw.pump()
 		nw.drain()
 	}
 	// Two heartbeats: one to gather applied watermarks, one to truncate.
-	leaderRep.HeartbeatTick()
+	leaderRep.HeartbeatTick(nw.now)
 	nw.pump()
 	nw.drain()
 	if leaderRep.LogLen() > 8 {
@@ -356,7 +356,7 @@ func TestCatchupAfterLostAccepts(t *testing.T) {
 		t.Fatalf("n3 unexpectedly applied %d", v)
 	}
 	// The next heartbeat announces the commits; n3 requests catch-up.
-	leaderRep.HeartbeatTick()
+	leaderRep.HeartbeatTick(nw.now)
 	nw.pump()
 	nw.drain()
 	if v := nw.sms["n3"].Value(); v != 2 {
@@ -380,7 +380,7 @@ func TestSnapshotForFarBehindFollower(t *testing.T) {
 		leaderRep.Propose(rsm.EncodeInc(1), nil)
 		nw.pump()
 		nw.drainDropping(dropN3)
-		leaderRep.HeartbeatTick()
+		leaderRep.HeartbeatTick(nw.now)
 		nw.pump()
 		nw.drainDropping(dropN3)
 	}
@@ -390,10 +390,10 @@ func TestSnapshotForFarBehindFollower(t *testing.T) {
 
 	// n3 rejoins; its heartbeat ack advertises applied=0, behind the
 	// truncation horizon, so the leader must send a snapshot.
-	leaderRep.HeartbeatTick()
+	leaderRep.HeartbeatTick(nw.now)
 	nw.pump()
 	nw.drain()
-	leaderRep.HeartbeatTick()
+	leaderRep.HeartbeatTick(nw.now)
 	nw.pump()
 	nw.drain()
 	if v := nw.sms["n3"].Value(); v != 10 {

@@ -64,6 +64,12 @@ type Replica struct {
 	forwards      map[uint64]Done      // by forward request ID (origin side)
 	nextForwardID uint64
 
+	// Forward dedup (receiver side): request IDs already seen per origin.
+	// The network may duplicate a forwarded command; without this a leader
+	// would append — and commit — the same non-idempotent command twice.
+	forwardSeen map[transport.NodeID]map[uint64]struct{}
+	forwardMax  map[transport.NodeID]uint64
+
 	// CompactEvery triggers a snapshot after this many applied entries
 	// beyond the last snapshot (0 disables compaction).
 	CompactEvery int
@@ -98,6 +104,8 @@ func NewReplica(id transport.NodeID, members []transport.NodeID, sm rsm.StateMac
 		role:         follower,
 		proposals:    make(map[uint64]*proposal),
 		forwards:     make(map[uint64]Done),
+		forwardSeen:  make(map[transport.NodeID]map[uint64]struct{}),
+		forwardMax:   make(map[transport.NodeID]uint64),
 		CompactEvery: 4096,
 	}, nil
 }
@@ -520,7 +528,42 @@ func (r *Replica) onSnapshotResp(from transport.NodeID, m *message) {
 	}
 }
 
+// forwardDedupWindow is how far behind an origin's highest-seen request ID
+// a remembered ID is kept. Request IDs increase per origin, so anything
+// this far back can no longer be a late first delivery.
+const forwardDedupWindow = 1 << 12
+
+// dupForward records (origin, reqID) and reports whether it was already
+// seen. Duplicates are dropped silently: the first delivery's response
+// path answers the origin, and the origin ignores unknown request IDs.
+func (r *Replica) dupForward(origin transport.NodeID, reqID uint64) bool {
+	seen := r.forwardSeen[origin]
+	if seen == nil {
+		seen = make(map[uint64]struct{})
+		r.forwardSeen[origin] = seen
+	}
+	if _, ok := seen[reqID]; ok {
+		return true
+	}
+	seen[reqID] = struct{}{}
+	if reqID > r.forwardMax[origin] {
+		r.forwardMax[origin] = reqID
+	}
+	if len(seen) > 2*forwardDedupWindow {
+		max := r.forwardMax[origin]
+		for id := range seen {
+			if id+forwardDedupWindow < max {
+				delete(seen, id)
+			}
+		}
+	}
+	return false
+}
+
 func (r *Replica) onForward(from transport.NodeID, m *message) {
+	if r.dupForward(from, m.ReqID) {
+		return
+	}
 	if r.role != leader {
 		r.send(from, &message{Type: mForwardResp, ReqID: m.ReqID, Err: ErrNoLeader.Error()})
 		return

@@ -1,0 +1,159 @@
+package shootout
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+
+	"crdtsmr/internal/transport"
+)
+
+// Net describes the emulated network for one race: per-message delay drawn
+// uniformly from [MinDelay, MaxDelay], plus optional loss and duplication.
+type Net struct {
+	MinDelay time.Duration
+	MaxDelay time.Duration
+	Loss     float64
+	Dup      float64
+}
+
+// LAN is a datacenter-ish profile; the protocol gaps it produces are
+// round-trip multiples, so any latency floor works.
+func LAN() Net {
+	return Net{MinDelay: 500 * time.Microsecond, MaxDelay: 4 * time.Millisecond}
+}
+
+// Sim is a discrete-event simulator marrying a delay-mode transport.Fabric
+// with a virtual timer wheel. All protocol code, timers, and workload
+// logic run single-threaded inside Sim events, so every run is a pure
+// function of the seed — latency and throughput results are deterministic
+// and independent of host CPU speed, which is what lets the shootout
+// assert latency bounds on a 1-CPU CI box.
+type Sim struct {
+	Fab *transport.Fabric
+
+	rng    *rand.Rand
+	timers timerHeap
+	seq    uint64
+}
+
+// Timer is a cancellable scheduled callback.
+type Timer struct {
+	at      time.Duration
+	seq     uint64
+	fn      func()
+	stopped bool
+}
+
+// Stop cancels the timer if it has not fired.
+func (t *Timer) Stop() {
+	if t != nil {
+		t.stopped = true
+	}
+}
+
+type timerHeap []*Timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq // FIFO among equal deadlines
+}
+func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x any)   { *h = append(*h, x.(*Timer)) }
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}
+
+// NewSim builds a simulator over a fresh Fabric configured from net.
+func NewSim(seed int64, net Net) *Sim {
+	fab := transport.NewFabric(seed)
+	min, max := net.MinDelay, net.MaxDelay
+	if max <= 0 {
+		min, max = LAN().MinDelay, LAN().MaxDelay
+	}
+	fab.SetDelay(min, max)
+	if net.Loss > 0 {
+		fab.SetLoss(net.Loss)
+	}
+	if net.Dup > 0 {
+		fab.SetDuplication(net.Dup)
+	}
+	// A distinct stream from the fabric's keeps timer jitter decoupled
+	// from message-delay draws.
+	return &Sim{Fab: fab, rng: rand.New(rand.NewSource(seed ^ 0x5f00d))}
+}
+
+// Now returns the virtual clock.
+func (s *Sim) Now() time.Duration { return s.Fab.Now() }
+
+// Rng returns the simulator's RNG, for seeded jitter and workload choice.
+func (s *Sim) Rng() *rand.Rand { return s.rng }
+
+// After schedules fn at Now()+d. fn runs inside the event loop.
+func (s *Sim) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	s.seq++
+	t := &Timer{at: s.Now() + d, seq: s.seq, fn: fn}
+	heap.Push(&s.timers, t)
+	return t
+}
+
+// step executes the earliest event not after limit. It returns false when
+// no such event exists.
+func (s *Sim) step(limit time.Duration) bool {
+	for len(s.timers) > 0 && s.timers[0].stopped {
+		heap.Pop(&s.timers)
+	}
+	var tAt time.Duration
+	hasT := len(s.timers) > 0
+	if hasT {
+		tAt = s.timers[0].at
+	}
+	mAt, hasM := s.Fab.NextDeadline()
+	switch {
+	case hasT && (!hasM || tAt <= mAt):
+		if tAt > limit {
+			return false
+		}
+		t := heap.Pop(&s.timers).(*Timer)
+		s.Fab.AdvanceTo(t.at)
+		t.fn()
+		return true
+	case hasM:
+		if mAt > limit {
+			return false
+		}
+		s.Fab.Step()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes every event scheduled up to the virtual instant t and
+// leaves the clock there.
+func (s *Sim) RunUntil(t time.Duration) {
+	for s.step(t) {
+	}
+	s.Fab.AdvanceTo(t)
+}
+
+// RunUntilDone executes events until done reports true or the virtual
+// clock would pass limit. It reports whether done was reached.
+func (s *Sim) RunUntilDone(limit time.Duration, done func() bool) bool {
+	for !done() {
+		if !s.step(limit) {
+			return done()
+		}
+	}
+	return true
+}

@@ -1,0 +1,250 @@
+package shootout
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"crdtsmr/internal/transport"
+)
+
+// settleTime is the virtual warmup before any measurement: long enough
+// for the log-based protocols to elect (≈2·ElectionTimeout plus a round
+// trip) and for the Paxos lease to validate off heartbeats.
+const settleTime = 400 * time.Millisecond
+
+// virtualCap aborts a run whose backend stopped making progress.
+const virtualCap = 5 * time.Minute
+
+// SessionStats is the hot-key read-after-write figure for one backend.
+type SessionStats struct {
+	// PerReplica holds the session p50 with the client pinned at each
+	// replica in turn (fresh same-seed run per pin, so the leader lands on
+	// the same node every time and the pin sweeps leader and followers).
+	PerReplica []time.Duration
+	// Median across replicas: the latency a client at a random replica
+	// sees. Log-based protocols pay forwarding at followers; the leaderless
+	// protocol serves every replica alike. This is the guarded metric.
+	Median time.Duration
+	// Errors counts sessions that completed with a failed op (excluded
+	// from the samples).
+	Errors int
+}
+
+// ReadAfterWrite runs the paper's hot-key session at every pin: fire an
+// increment, read the same key 100µs later (virtual), wait for both;
+// repeat. The first warmup sessions are discarded.
+func ReadAfterWrite(spec Spec, n int, net Net, seed int64, sessions, warmup int) (SessionStats, error) {
+	out := SessionStats{PerReplica: make([]time.Duration, n)}
+	for pin := 0; pin < n; pin++ {
+		p50, errs, err := sessionRun(spec, n, net, seed, pin, sessions, warmup)
+		if err != nil {
+			return SessionStats{}, fmt.Errorf("%s pin %d: %w", spec.Name, pin, err)
+		}
+		out.PerReplica[pin] = p50
+		out.Errors += errs
+	}
+	sorted := append([]time.Duration(nil), out.PerReplica...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out.Median = sorted[len(sorted)/2]
+	return out, nil
+}
+
+func sessionRun(spec Spec, n int, net Net, seed int64, pin, sessions, warmup int) (time.Duration, int, error) {
+	sim := NewSim(seed, net)
+	backend, err := spec.New(sim, n)
+	if err != nil {
+		return 0, 0, err
+	}
+	const key = "c-hot"
+	// Settle: elections, then one priming read at the pin so per-key state
+	// and leases exist before measurement.
+	sim.RunUntil(settleTime)
+	primed := false
+	backend.Read(pin, key, func(int64, error) { primed = true })
+	if !sim.RunUntilDone(virtualCap, func() bool { return primed }) {
+		return 0, 0, fmt.Errorf("priming read never completed")
+	}
+
+	var samples []time.Duration
+	errs, completed := 0, 0
+	var start func()
+	start = func() {
+		if completed >= sessions {
+			return
+		}
+		idx := completed
+		t0 := sim.Now()
+		incDone, readDone, failed := false, false, false
+		finish := func() {
+			if !incDone || !readDone {
+				return
+			}
+			completed++
+			if failed {
+				errs++
+			} else if idx >= warmup {
+				samples = append(samples, sim.Now()-t0)
+			}
+			start()
+		}
+		backend.Inc(pin, key, func(err error) {
+			if err != nil {
+				failed = true
+			}
+			incDone = true
+			finish()
+		})
+		// The read trails the write by a virtual beat so it snapshots a
+		// state with the increment in flight — the read-after-write race.
+		sim.After(100*time.Microsecond, func() {
+			backend.Read(pin, key, func(_ int64, err error) {
+				if err != nil {
+					failed = true
+				}
+				readDone = true
+				finish()
+			})
+		})
+	}
+	start()
+	if !sim.RunUntilDone(virtualCap, func() bool { return completed >= sessions }) {
+		return 0, 0, fmt.Errorf("stalled after %d/%d sessions", completed, sessions)
+	}
+	if len(samples) == 0 {
+		return 0, 0, fmt.Errorf("no successful sessions (%d errors)", errs)
+	}
+	return percentile(samples, 50), errs, nil
+}
+
+// MixedStats is the shared keyed-workload figure for one backend.
+type MixedStats struct {
+	Throughput   float64 // completed ops per virtual second
+	ReadP50      time.Duration
+	ReadP99      time.Duration
+	UpdateP50    time.Duration
+	UpdateP99    time.Duration
+	BytesPerOp   float64 // replica-wire payload bytes per completed op
+	MaxLinkShare float64 // busiest directed link's share of wire bytes
+	Completed    int
+	Failed       int
+}
+
+// MixedWorkload races one backend on the shared keyed workload: clients
+// pinned round-robin over replicas, each running a closed loop of ops
+// against a small keyspace of counters and or-sets, readFrac of them
+// reads. Latencies, throughput, and wire bytes are all virtual-time and
+// byte-counter based — deterministic for a given seed.
+func MixedWorkload(spec Spec, n int, net Net, seed int64, clients, keys, ops int, readFrac float64) (MixedStats, error) {
+	sim := NewSim(seed, net)
+	backend, err := spec.New(sim, n)
+	if err != nil {
+		return MixedStats{}, err
+	}
+	sim.RunUntil(settleTime)
+	primed := 0
+	for r := 0; r < n; r++ {
+		backend.Read(r, "c0", func(int64, error) { primed++ })
+	}
+	if !sim.RunUntilDone(virtualCap, func() bool { return primed == n }) {
+		return MixedStats{}, fmt.Errorf("%s: priming reads stalled", spec.Name)
+	}
+
+	base := sim.Fab.Stats()
+	t0 := sim.Now()
+	var reads, updates []time.Duration
+	completed, failed, done := 0, 0, 0
+	perClient := (ops + clients - 1) / clients
+	for c := 0; c < clients; c++ {
+		c := c
+		rng := rand.New(rand.NewSource(seed + int64(c)*7919))
+		replica := c % n
+		issued := 0
+		var next func()
+		next = func() {
+			if issued >= perClient {
+				done++
+				return
+			}
+			issued++
+			t1 := sim.Now()
+			isRead := rng.Float64() < readFrac
+			isSet := rng.Intn(4) == 0 // 25% of traffic on or-sets
+			j := rng.Intn(keys)
+			settle := func(err error, lat *[]time.Duration) {
+				if err != nil {
+					failed++
+				} else {
+					completed++
+					*lat = append(*lat, sim.Now()-t1)
+				}
+				next()
+			}
+			switch {
+			case isRead && !isSet:
+				backend.Read(replica, fmt.Sprintf("c%d", j), func(_ int64, err error) { settle(err, &reads) })
+			case isRead && isSet:
+				backend.Card(replica, fmt.Sprintf("s%d", j), func(_ int64, err error) { settle(err, &reads) })
+			case !isRead && !isSet:
+				backend.Inc(replica, fmt.Sprintf("c%d", j), func(err error) { settle(err, &updates) })
+			default:
+				elem := fmt.Sprintf("e%d", rng.Intn(64))
+				backend.AddElem(replica, fmt.Sprintf("s%d", j), elem, func(err error) { settle(err, &updates) })
+			}
+		}
+		next()
+	}
+	if !sim.RunUntilDone(virtualCap, func() bool { return done == clients }) {
+		return MixedStats{}, fmt.Errorf("%s: workload stalled (%d/%d clients done)", spec.Name, done, clients)
+	}
+	elapsed := sim.Now() - t0
+	if elapsed <= 0 || completed == 0 {
+		return MixedStats{}, fmt.Errorf("%s: empty measurement window", spec.Name)
+	}
+	stats := sim.Fab.Stats()
+	bytesDelta := float64(stats.BytesSent - base.BytesSent)
+	out := MixedStats{
+		Throughput:   float64(completed) / elapsed.Seconds(),
+		ReadP50:      percentile(reads, 50),
+		ReadP99:      percentile(reads, 99),
+		UpdateP50:    percentile(updates, 50),
+		UpdateP99:    percentile(updates, 99),
+		BytesPerOp:   bytesDelta / float64(completed),
+		MaxLinkShare: maxLinkShare(stats.Links, base.Links, bytesDelta),
+		Completed:    completed,
+		Failed:       failed,
+	}
+	return out, nil
+}
+
+// maxLinkShare finds the busiest directed link's share of measured bytes —
+// a leader-concentration signature: log-based protocols funnel traffic
+// through the leader's links, the leaderless protocol spreads it.
+func maxLinkShare(end, base map[transport.Link]transport.LinkStats, total float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	var max float64
+	for l, s := range end {
+		d := float64(s.BytesSent - base[l].BytesSent)
+		if d > max {
+			max = d
+		}
+	}
+	return max / total
+}
+
+// percentile returns the p-th percentile of samples (nearest-rank).
+func percentile(samples []time.Duration, p int) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := len(s) * p / 100
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}

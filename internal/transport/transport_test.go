@@ -573,3 +573,107 @@ func TestTCPByteStatsPerLink(t *testing.T) {
 		t.Fatalf("loopback link = %+v", l)
 	}
 }
+
+func TestFabricDelayOrdersByDeadline(t *testing.T) {
+	f := NewFabric(7)
+	f.SetDelay(time.Millisecond, time.Millisecond) // fixed latency: FIFO
+	var log []string
+	a := f.Join("a", func(from NodeID, p []byte) { log = append(log, string(p)) })
+	f.Join("b", func(NodeID, []byte) {})
+	for i := 0; i < 5; i++ {
+		a.Send("a", []byte(fmt.Sprintf("m%d", i)))
+	}
+	if at, ok := f.NextDeadline(); !ok || at != time.Millisecond {
+		t.Fatalf("NextDeadline = %v, %v", at, ok)
+	}
+	f.Drain(100)
+	for i, got := range log {
+		if want := fmt.Sprintf("m%d", i); got != want {
+			t.Fatalf("fixed-latency delivery reordered: %v", log)
+		}
+	}
+	if f.Now() != time.Millisecond {
+		t.Fatalf("virtual clock = %v, want 1ms", f.Now())
+	}
+
+	// A message sent at Now() is stamped relative to the advanced clock.
+	a.Send("a", []byte("late"))
+	if at, ok := f.NextDeadline(); !ok || at != 2*time.Millisecond {
+		t.Fatalf("NextDeadline after advance = %v, %v", at, ok)
+	}
+}
+
+func TestFabricDelayDeterministicAndJittered(t *testing.T) {
+	run := func(seed int64) ([]string, time.Duration) {
+		f := NewFabric(seed)
+		f.SetDelay(500*time.Microsecond, 4*time.Millisecond)
+		var log []string
+		a := f.Join("a", func(from NodeID, p []byte) { log = append(log, string(p)) })
+		f.Join("b", func(NodeID, []byte) {})
+		for i := 0; i < 20; i++ {
+			a.Send("a", []byte(fmt.Sprintf("m%d", i)))
+		}
+		f.Drain(100)
+		return log, f.Now()
+	}
+	log1, now1 := run(42)
+	log2, now2 := run(42)
+	if len(log1) != 20 || now1 != now2 {
+		t.Fatalf("same seed diverged: %d delivered, now %v vs %v", len(log1), now1, now2)
+	}
+	for i := range log1 {
+		if log1[i] != log2[i] {
+			t.Fatalf("same seed diverged: %v vs %v", log1, log2)
+		}
+	}
+	reordered := false
+	for i, got := range log1 {
+		if got != fmt.Sprintf("m%d", i) {
+			reordered = true
+		}
+	}
+	if !reordered {
+		t.Log("jittered window delivered in send order (possible but unlikely)")
+	}
+	if now1 > 4*time.Millisecond || now1 < 500*time.Microsecond {
+		t.Fatalf("clock %v outside the delay window", now1)
+	}
+}
+
+func TestFabricAdvanceToMonotone(t *testing.T) {
+	f := NewFabric(1)
+	if _, ok := f.NextDeadline(); ok {
+		t.Fatal("legacy mode reported a deadline")
+	}
+	f.SetDelay(time.Millisecond, time.Millisecond)
+	f.AdvanceTo(3 * time.Millisecond)
+	if f.Now() != 3*time.Millisecond {
+		t.Fatalf("Now = %v", f.Now())
+	}
+	f.AdvanceTo(time.Millisecond) // never backward
+	if f.Now() != 3*time.Millisecond {
+		t.Fatalf("clock moved backward to %v", f.Now())
+	}
+}
+
+func TestFabricDelayDuplicationDrawsFreshDeadline(t *testing.T) {
+	f := NewFabric(3)
+	f.SetDelay(time.Millisecond, time.Millisecond)
+	f.SetDuplication(1.0)
+	got := 0
+	a := f.Join("a", func(NodeID, []byte) { got++ })
+	a.Send("a", []byte("x"))
+	if !f.Step() {
+		t.Fatal("no step")
+	}
+	f.SetDuplication(0)
+	if !f.Step() {
+		t.Fatal("duplicate was not re-enqueued")
+	}
+	if got != 2 {
+		t.Fatalf("delivered %d, want 2", got)
+	}
+	if f.Now() != 2*time.Millisecond {
+		t.Fatalf("duplicate kept the old deadline: clock %v, want 2ms", f.Now())
+	}
+}
