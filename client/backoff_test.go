@@ -1,0 +1,50 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetryPolicyDelayBounds pins the backoff schedule's envelope: retry
+// n sleeps between half and all of min(Backoff·2ⁿ⁻¹, MaxBackoff) — the
+// equal-jitter property every timing budget in the test suite and every
+// overloaded server's recovery depends on.
+func TestRetryPolicyDelayBounds(t *testing.T) {
+	p := RetryPolicy{Backoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond}
+	for n := 1; n <= 10; n++ {
+		full := p.Backoff << (n - 1)
+		if full > p.MaxBackoff {
+			full = p.MaxBackoff
+		}
+		for trial := 0; trial < 200; trial++ {
+			if d := p.delay(n); d < full/2 || d > full {
+				t.Fatalf("delay(%d) = %v outside [%v, %v]", n, d, full/2, full)
+			}
+		}
+	}
+}
+
+func TestRetryPolicyDelayJitters(t *testing.T) {
+	p := RetryPolicy{Backoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond}
+	seen := map[time.Duration]bool{}
+	for trial := 0; trial < 100; trial++ {
+		seen[p.delay(5)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("delay(5) never varied: a shed client fleet would retry in lockstep")
+	}
+}
+
+// TestRetryPolicyDelayCapFollowsBase: a policy that sets only a large
+// base must not have the (smaller) default cap silently shrink it.
+func TestRetryPolicyDelayCapFollowsBase(t *testing.T) {
+	p := RetryPolicy{Backoff: 50 * time.Millisecond, MaxBackoff: 10 * time.Millisecond}
+	for trial := 0; trial < 100; trial++ {
+		if d := p.delay(7); d < 25*time.Millisecond || d > 50*time.Millisecond {
+			t.Fatalf("delay(7) = %v outside [25ms, 50ms] with cap below base", d)
+		}
+	}
+	if d := (RetryPolicy{}).delay(3); d != 0 {
+		t.Fatalf("zero policy delay = %v, want 0", d)
+	}
+}

@@ -26,6 +26,13 @@ var errConnFailed = fmt.Errorf("%w: connection failed", ErrUncertain)
 // which is the ErrUnavailable contract, like a dial failure.
 var errNotSent = fmt.Errorf("%w: request not sent", ErrUnavailable)
 
+// errBusyConn marks a connection the server refused at admission with the
+// busy-close handshake (one StatusBusy response on request ID 0, then
+// close; docs/PROTOCOL.md §2.5). The server read nothing on it, so even a
+// request already written is provably unexecuted — the ErrBusy class,
+// safe to retry anywhere after backing off.
+var errBusyConn = fmt.Errorf("%w: connection refused at admission", ErrBusy)
+
 // errInFlight marks a context expiry that struck after the request frame
 // was written: the response will never be read, so an update's fate is
 // unknown and do() must add the ErrUncertain classification on top of
@@ -116,8 +123,11 @@ func (c *Client) do(ctx context.Context, req *wire.Request, retryInFlight bool) 
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.retry.MaxAttempts; attempt++ {
 		if attempt > 0 {
+			// Capped exponential backoff with jitter (RetryPolicy.delay):
+			// under overload the retry pressure must shrink, not hold
+			// steady, or shed requests return as a synchronized storm.
 			select {
-			case <-time.After(c.cfg.retry.Backoff):
+			case <-time.After(c.cfg.retry.delay(attempt)):
 			case <-ctx.Done():
 				return nil, ctxErr(ctx, lastErr)
 			}
@@ -164,6 +174,14 @@ func (c *Client) do(ctx context.Context, req *wire.Request, retryInFlight bool) 
 				lastErr = err
 				continue
 			}
+			if errors.Is(err, ErrBusy) {
+				// Busy-close handshake: the server refused the whole
+				// connection at admission and read nothing on it, so the
+				// operation provably did not execute — retry anywhere
+				// (the next attempt's backoff paces it).
+				lastErr = err
+				continue
+			}
 			if !retryInFlight {
 				return nil, fmt.Errorf("%w: %v", errConnFailed, err)
 			}
@@ -182,6 +200,11 @@ func (c *Client) do(ctx context.Context, req *wire.Request, retryInFlight bool) 
 		switch resp.Status {
 		case byte(StatusUnavailable):
 			continue // provably not applied: retry anywhere
+		case byte(StatusBusy):
+			// Shed at admission, provably not applied: retry anywhere —
+			// after the growing backoff, which is what keeps a shedding
+			// server from drowning in its own retries.
+			continue
 		case byte(StatusUncertain):
 			if retryInFlight {
 				continue
@@ -326,6 +349,16 @@ func (c *conn) readLoop() {
 			// A peer speaking garbage is a connection-level error: no
 			// response on this conn can be trusted to correlate.
 			c.fail(fmt.Errorf("client: decode response: %w", err))
+			return
+		}
+		if resp.ID == 0 && resp.Status == byte(StatusBusy) {
+			// The busy-close handshake: request IDs start at 1, so ID 0
+			// addresses the connection itself — the server refused it at
+			// admission, before reading anything, and is about to close
+			// it. Fail every pending request with the retry-anywhere
+			// busy class rather than the uncertain one a bare close
+			// would imply.
+			c.fail(errBusyConn)
 			return
 		}
 		c.mu.Lock()

@@ -48,6 +48,11 @@ const (
 	// name is "error" (e.g. a mutation applied to an object of a
 	// different CRDT type).
 	StatusFailed = Status(wire.StatusError)
+	// StatusBusy: the server shed the operation (or, on request ID 0,
+	// the whole connection) at admission — before any of it executed —
+	// because a load limit was exceeded. Provably not applied; retrying
+	// anywhere is safe after backing off.
+	StatusBusy = Status(wire.StatusBusy)
 )
 
 // String renders the status by its docs/PROTOCOL.md name.
@@ -63,6 +68,8 @@ func (s Status) String() string {
 		return "bad request"
 	case StatusFailed:
 		return "error"
+	case StatusBusy:
+		return "busy"
 	default:
 		return fmt.Sprintf("status %d", uint8(s))
 	}
@@ -100,6 +107,15 @@ var (
 	// the wait, not necessarily the operation.
 	ErrTimeout = errors.New("client: deadline exceeded")
 
+	// ErrBusy means every attempt was shed by server admission control
+	// (StatusBusy): the cluster is overloaded, and the operation provably
+	// was not applied — the server refused it before executing any of it,
+	// so retrying any operation, against any replica, is safe. The client
+	// already retried with exponential backoff within its budget; a
+	// caller seeing ErrBusy should back off further before trying again
+	// rather than tighten its retry loop.
+	ErrBusy = errors.New("client: server busy")
+
 	// ErrTypeMismatch means a typed handle read an object holding a
 	// different CRDT type (e.g. Counter.Value on an OR-Set key),
 	// detected client-side when decoding the queried state. The
@@ -113,7 +129,8 @@ var (
 // status code and the server's message verbatim.
 //
 // A *StatusError matches (errors.Is) the sentinel of its retry class:
-// ErrUnavailable for StatusUnavailable, ErrUncertain for StatusUncertain
+// ErrUnavailable for StatusUnavailable, ErrUncertain for StatusUncertain,
+// ErrBusy for StatusBusy
 // — except that a StatusUncertain answer to a read-only operation (a
 // server predating the read-only rule of docs/PROTOCOL.md §2.5 may send
 // one) matches ErrUnavailable instead: a read has no fate to be
@@ -142,6 +159,8 @@ func (e *StatusError) Is(target error) bool {
 		return e.Status == StatusUnavailable || (e.readOnly && e.Status == StatusUncertain)
 	case ErrUncertain:
 		return e.Status == StatusUncertain && !e.readOnly
+	case ErrBusy:
+		return e.Status == StatusBusy
 	}
 	return false
 }

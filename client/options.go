@@ -2,21 +2,52 @@ package client
 
 import (
 	"context"
+	"math/rand"
 	"net"
 	"time"
 )
 
 // RetryPolicy bounds the client's automatic failover. The client retries
-// an operation only when doing so is safe: always after ErrUnavailable
-// and dial failures (nothing was applied), and additionally after
-// ErrUncertain and mid-flight connection failures for read-only
+// an operation only when doing so is safe: always after ErrUnavailable,
+// ErrBusy, and dial failures (nothing was applied), and additionally
+// after ErrUncertain and mid-flight connection failures for read-only
 // operations (queries and admin commands).
+//
+// The delay before retry n doubles from Backoff up to MaxBackoff, with
+// equal jitter (half the delay fixed, half uniformly random) so that a
+// fleet of clients shed together by an overloaded server does not retry
+// together as a synchronized storm.
 type RetryPolicy struct {
 	// MaxAttempts caps tries per operation, first attempt included,
 	// across addresses. 0 means len(addrs) + 1.
 	MaxAttempts int
-	// Backoff is slept between attempts. 0 means 5 ms.
+	// Backoff is the base delay before the first retry. 0 means 5 ms.
 	Backoff time.Duration
+	// MaxBackoff caps the exponential growth. 0 means 100 ms; when
+	// Backoff alone is set higher than the cap, the cap follows it (the
+	// delay then stays fixed at Backoff, jittered).
+	MaxBackoff time.Duration
+}
+
+// delay returns the sleep before retry attempt n (n ≥ 1): the base
+// doubled n-1 times, capped, with equal jitter.
+func (p RetryPolicy) delay(n int) time.Duration {
+	limit := p.MaxBackoff
+	if limit < p.Backoff {
+		limit = p.Backoff
+	}
+	d := p.Backoff
+	for i := 1; i < n && d < limit; i++ {
+		d *= 2
+	}
+	if d > limit {
+		d = limit
+	}
+	if d <= time.Nanosecond {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(d-half)+1))
 }
 
 // Dialer opens client connections. *net.Dialer implements it; supply a
@@ -38,8 +69,12 @@ func defaultConfig(addrs []string) config {
 	return config{
 		dialTimeout:    2 * time.Second,
 		requestTimeout: 10 * time.Second,
-		retry:          RetryPolicy{MaxAttempts: len(addrs) + 1, Backoff: 5 * time.Millisecond},
-		connsPerAddr:   2,
+		retry: RetryPolicy{
+			MaxAttempts: len(addrs) + 1,
+			Backoff:     5 * time.Millisecond,
+			MaxBackoff:  100 * time.Millisecond,
+		},
+		connsPerAddr: 2,
 	}
 }
 
@@ -57,8 +92,8 @@ func WithPool(connsPerAddr int) Option {
 }
 
 // WithRetryPolicy tunes failover. Zero fields keep their defaults
-// (MaxAttempts len(addrs)+1, Backoff 5 ms); MaxAttempts 1 disables
-// retries entirely.
+// (MaxAttempts len(addrs)+1, Backoff 5 ms, MaxBackoff 100 ms);
+// MaxAttempts 1 disables retries entirely.
 func WithRetryPolicy(p RetryPolicy) Option {
 	return func(c *config) {
 		if p.MaxAttempts > 0 {
@@ -66,6 +101,9 @@ func WithRetryPolicy(p RetryPolicy) Option {
 		}
 		if p.Backoff > 0 {
 			c.retry.Backoff = p.Backoff
+		}
+		if p.MaxBackoff > 0 {
+			c.retry.MaxBackoff = p.MaxBackoff
 		}
 	}
 }

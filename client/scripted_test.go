@@ -302,12 +302,14 @@ func TestStatusErrorRoundTripsEveryCode(t *testing.T) {
 		name        string
 		unavailable bool
 		uncertain   bool
+		busy        bool
 	}{
-		{client.StatusUnavailable, "unavailable", true, false},
-		{client.StatusUncertain, "uncertain", false, true},
-		{client.StatusBadRequest, "bad request", false, false},
-		{client.StatusFailed, "error", false, false},
-		{client.Status(9), "status 9", false, false}, // unknown: terminal
+		{client.StatusUnavailable, "unavailable", true, false, false},
+		{client.StatusUncertain, "uncertain", false, true, false},
+		{client.StatusBadRequest, "bad request", false, false, false},
+		{client.StatusFailed, "error", false, false, false},
+		{client.StatusBusy, "busy", false, false, true},
+		{client.Status(9), "status 9", false, false, false}, // unknown: terminal
 	}
 	for _, tc := range cases {
 		status.Store(int32(tc.code))
@@ -331,5 +333,63 @@ func TestStatusErrorRoundTripsEveryCode(t *testing.T) {
 		if got := errors.Is(err, client.ErrUncertain); got != tc.uncertain {
 			t.Errorf("status %d: Is(ErrUncertain) = %v, want %v", tc.code, got, tc.uncertain)
 		}
+		if got := errors.Is(err, client.ErrBusy); got != tc.busy {
+			t.Errorf("status %d: Is(ErrBusy) = %v, want %v", tc.code, got, tc.busy)
+		}
+	}
+}
+
+// TestBusyStatusRetriesThenSucceeds: StatusBusy is a retry-anywhere
+// class for every operation kind — the server sheds at admission, before
+// executing anything, so even an update may be blindly resubmitted. A
+// server that sheds a few times and then admits must cost the caller
+// nothing but latency.
+func TestBusyStatusRetriesThenSucceeds(t *testing.T) {
+	var served atomic.Int32
+	s := startScripted(t, func(req *wire.Request) []byte {
+		if served.Add(1) <= 3 {
+			return statusReply(req, wire.StatusBusy, "scripted: shedding")
+		}
+		return (&wire.Response{Op: req.Op | wire.RespBit, ID: req.ID, Status: wire.StatusOK, RoundTrips: 1}).Encode()
+	})
+	c, err := client.New([]string{s.addr()},
+		client.WithRetryPolicy(client.RetryPolicy{MaxAttempts: 8, Backoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Counter("k").Inc(context.Background(), 1); err != nil {
+		t.Fatalf("update through a temporarily busy server: %v", err)
+	}
+	if got := served.Load(); got != 4 {
+		t.Fatalf("server saw %d requests, want 4 (3 sheds + 1 success)", got)
+	}
+}
+
+// TestBusyExhaustedSurfacesErrBusy: a server shedding every attempt must
+// surface as ErrBusy — and only ErrBusy: not uncertain (nothing
+// executed) and not unavailable (the caller's remedies differ: back off
+// versus fail over).
+func TestBusyExhaustedSurfacesErrBusy(t *testing.T) {
+	s := startScripted(t, func(req *wire.Request) []byte {
+		return statusReply(req, wire.StatusBusy, "scripted: permanently shedding")
+	})
+	c, err := client.New([]string{s.addr()},
+		client.WithRetryPolicy(client.RetryPolicy{MaxAttempts: 3, Backoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	err = c.Counter("k").Inc(context.Background(), 1)
+	if !errors.Is(err, client.ErrBusy) {
+		t.Fatalf("err = %v, want ErrBusy", err)
+	}
+	if errors.Is(err, client.ErrUncertain) || errors.Is(err, client.ErrUnavailable) {
+		t.Fatalf("busy error %v bleeds into another retry class", err)
+	}
+	var se *client.StatusError
+	if !errors.As(err, &se) || se.Status != client.StatusBusy || se.Msg != "scripted: permanently shedding" {
+		t.Fatalf("busy error %v lost its StatusError", err)
 	}
 }

@@ -11,10 +11,13 @@
 // operation vs object size for the full/digest/delta -state-transfer
 // modes, measured with transport byte counters (wall-clock independent),
 // -figure lease measures the round-lease query fast path on a hot-key
-// read-after-write session, and -figure protocols races the paper's
+// read-after-write session, -figure protocols races the paper's
 // protocol against Multi-Paxos RSM, Raft RSM, and generalized lattice
 // agreement on a shared keyed workload in virtual time (deterministic
-// per seed; see internal/shootout).
+// per seed; see internal/shootout), and -figure overload sweeps offered
+// closed-loop load past the admission caps and reports goodput and p99
+// completion latency with admission control on (StatusBusy sheds plus
+// client backoff) and off (everything queues).
 //
 // The default scale finishes in minutes; raise -duration and -clients to
 // approach the paper's 10-minute, 4096-client runs.
@@ -53,7 +56,7 @@ func main() {
 
 func run() error {
 	var (
-		figure   = flag.String("figure", "all", "figure to regenerate: 1, 2, 3, 4, keys, clients, bytes, lease, protocols, or all")
+		figure   = flag.String("figure", "all", "figure to regenerate: 1, 2, 3, 4, keys, clients, bytes, lease, protocols, overload, or all")
 		duration = flag.Duration("duration", 2*time.Second, "measurement duration per data point (paper: 10m)")
 		warmup   = flag.Duration("warmup", 300*time.Millisecond, "warm-up excluded from statistics")
 		clients  = flag.String("clients", "1,8,64,256", "comma-separated client sweep (paper: 1..4096)")
@@ -137,13 +140,19 @@ func run() error {
 				return err
 			}
 			return saveFig(fig)
+		case "overload":
+			fig, err := bench.FigureOverload(out, scale)
+			if err != nil {
+				return err
+			}
+			return saveFig(fig)
 		default:
 			return fmt.Errorf("unknown figure %q", fig)
 		}
 	}
 
 	if *figure == "all" {
-		for _, fig := range []string{"1", "2", "3", "4", "keys", "clients", "bytes", "lease", "protocols"} {
+		for _, fig := range []string{"1", "2", "3", "4", "keys", "clients", "bytes", "lease", "protocols", "overload"} {
 			if err := runOne(fig); err != nil {
 				return err
 			}

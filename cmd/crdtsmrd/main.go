@@ -102,6 +102,9 @@ func serve(args []string) error {
 	dataDir := fs.String("data-dir", "", "snapshot directory for crash recovery; a killed replica re-exec'd with the same directory serves its pre-crash data (empty: volatile)")
 	recoverFlag := fs.String("recover", "strict", "corrupt-snapshot policy at startup: strict (refuse to start) or ignore-corrupt (affected keys start fresh and re-learn from the cluster)")
 	fsync := fs.Bool("fsync", false, "fsync every snapshot write (survives power loss, not just process death)")
+	maxConns := fs.Int("max-conns", 0, "client connection cap; further connections get one busy frame and a close (0: default 1024)")
+	maxInflight := fs.Int("max-inflight", 0, "server-wide executing-request cap; excess is answered busy instead of queued (0: default 4096)")
+	linkBudget := fs.Int("link-budget", 0, "per-peer replica-link byte budget in bytes/sec, delaying and coalescing MERGE traffic over it (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -153,6 +156,7 @@ func serve(args []string) error {
 		DataDir:       *dataDir,
 		PersistSync:   syncPolicy,
 		Recover:       recoverPolicy,
+		LinkBudget:    *linkBudget,
 	}, func(nid transport.NodeID, h transport.Handler) transport.Conn {
 		remote := map[transport.NodeID]string{}
 		for p, a := range peers {
@@ -182,7 +186,10 @@ func serve(args []string) error {
 			return err
 		}
 	}
-	srv, err := server.Start(node, clientAddr, server.Options{})
+	srv, err := server.Start(node, clientAddr, server.Options{
+		MaxConns:         *maxConns,
+		MaxTotalInFlight: *maxInflight,
+	})
 	if err != nil {
 		return err
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"crdtsmr/internal/clock"
@@ -74,6 +75,15 @@ type Config struct {
 	// cluster (persist.RecoverIgnoreCorrupt, an explicit operator
 	// decision).
 	Recover persist.RecoverPolicy
+	// LinkBudget, when positive, caps each outbound replica link at this
+	// many payload bytes per second (token bucket, capacity LinkBurst).
+	// Envelopes over budget are delayed and coalesced per key instead of
+	// flooding the wire — see docs/ARCHITECTURE.md, "Overload and
+	// backpressure". Zero disables budgeting.
+	LinkBudget int
+	// LinkBurst is the bucket capacity in bytes. Defaults to one second
+	// of LinkBudget; values below LinkBudget/10 are raised to it.
+	LinkBurst int
 }
 
 func (c Config) withDefaults() Config {
@@ -85,6 +95,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Options.Transfer == core.TransferFull {
 		c.Options.Transfer = c.StateTransfer
+	}
+	if c.LinkBudget > 0 && c.LinkBurst <= 0 {
+		c.LinkBurst = c.LinkBudget
 	}
 	return c
 }
@@ -120,11 +133,18 @@ type Node struct {
 
 	store *persist.Store // nil when cfg.DataDir is empty
 
+	// inboundDropped counts replica frames dropped because the event
+	// queue was full. It is written from the transport's delivery
+	// goroutine (the one place a full queue is observed), hence atomic.
+	inboundDropped atomic.Uint64
+
 	// Loop-owned state (accessed only from the event loop).
 	replicas      map[string]*core.Replica
 	timers        map[string]map[uint64]clock.Timer
-	dirty         []string // keys whose replica may hold outbox envelopes
-	droppedFrames uint64   // inbound frames dropped before reaching a replica
+	budgets       map[transport.NodeID]*linkBudget // per-link byte budgets (LinkBudget > 0)
+	budgetTimers  map[transport.NodeID]bool        // links with a pending drain timer
+	dirty         []string                         // keys whose replica may hold outbox envelopes
+	droppedFrames uint64                           // inbound frames dropped before reaching a replica
 	crashed       bool
 	batchUpdates  map[string][]*updateOp
 	batchQueries  map[string][]*queryOp
@@ -166,6 +186,7 @@ const (
 	evFlush
 	evSetCrashed
 	evRestart
+	evBudget // drain the link budget queue of peer `from`
 )
 
 type updateOp struct {
@@ -200,6 +221,8 @@ func NewNode(id transport.NodeID, cfg Config, join func(transport.NodeID, transp
 		quit:         make(chan struct{}),
 		replicas:     make(map[string]*core.Replica),
 		timers:       make(map[string]map[uint64]clock.Timer),
+		budgets:      make(map[transport.NodeID]*linkBudget),
+		budgetTimers: make(map[transport.NodeID]bool),
 		batchUpdates: make(map[string][]*updateOp),
 		batchQueries: make(map[string][]*queryOp),
 		savedVersion: make(map[string]uint64),
@@ -282,7 +305,12 @@ func (n *Node) Counters() core.Counters {
 			sum.Add(rep.Counters())
 		}
 		sum.MalformedMsgs += n.droppedFrames
+		for _, b := range n.budgets {
+			sum.BudgetDelayed += b.delayed
+			sum.BudgetCoalesced += b.coalesced
+		}
 	})
+	sum.InboundDropped += n.inboundDropped.Load()
 	return sum
 }
 
@@ -426,6 +454,7 @@ func (n *Node) restart() error {
 	n.replicas = make(map[string]*core.Replica)
 	n.savedVersion = make(map[string]uint64)
 	n.dirty = n.dirty[:0]
+	n.dropBudgetQueues()
 	rep, err := core.NewReplica(n.id, n.cfg.Members, n.cfg.Initial, n.cfg.Options)
 	if err != nil {
 		n.crashed = true
@@ -529,10 +558,19 @@ func (n *Node) post(ev nodeEvent) {
 	}
 }
 
+// handleInbound runs on the transport's delivery goroutine. It must
+// never block: the same goroutine delivers replica-to-replica protocol
+// traffic, so parking it on a full event queue would let client load
+// stall the replica wire cluster-wide (head-of-line blocking across
+// planes). A full queue instead drops the frame and counts it — the
+// transport is best-effort already, and retransmission recovers exactly
+// as it does from network loss.
 func (n *Node) handleInbound(from transport.NodeID, payload []byte) {
 	select {
 	case n.events <- nodeEvent{kind: evInbound, from: from, payload: payload}:
 	case <-n.quit:
+	default:
+		n.inboundDropped.Add(1)
 	}
 }
 
@@ -641,10 +679,13 @@ func (n *Node) handle(ev nodeEvent) {
 				n.post(nodeEvent{kind: evFlush, queries: next})
 			})
 		}
+	case evBudget:
+		n.drainBudget(ev.from)
 	case evSetCrashed:
 		n.crashed = ev.crash
 		if ev.crash {
 			n.failEverything()
+			n.dropBudgetQueues()
 		}
 		// Entering or leaving a crash invalidates every round lease this
 		// node holds: while it was down (or from the instant it stops
@@ -794,8 +835,14 @@ func (n *Node) flushOutbox() {
 			}
 		}
 		for _, e := range out {
-			if !n.crashed {
-				n.conn.Send(e.To, wire.PackEnvelope(key, e.Payload))
+			if n.crashed {
+				continue
+			}
+			packed := wire.PackEnvelope(key, e.Payload)
+			if n.cfg.LinkBudget > 0 {
+				n.sendBudgeted(e.To, key, packed)
+			} else {
+				n.conn.Send(e.To, packed)
 			}
 		}
 		for reqID := range n.timers[key] {

@@ -171,6 +171,13 @@ type Counters struct {
 	MergeFallbacks     uint64 // full-payload resends after a MERGE-NACK
 	LeaseHits          uint64 // queries learned via the prepare-skip fast path
 	LeaseFallbacks     uint64 // leased attempts that fell back to a full prepare
+
+	// Runtime-level overload counters. The replica itself never sets
+	// them; the cluster runtime fills them into its aggregated snapshot
+	// (like the node's malformed-frame count rides MalformedMsgs).
+	InboundDropped  uint64 // inbound replica frames dropped on a full event queue
+	BudgetDelayed   uint64 // outbound envelopes delayed by a link's byte budget
+	BudgetCoalesced uint64 // delayed envelopes superseded by a newer one for the same key
 }
 
 // Add accumulates o into c, field by field. Runtimes aggregating many
@@ -196,6 +203,9 @@ func (c *Counters) Add(o Counters) {
 	c.MergeFallbacks += o.MergeFallbacks
 	c.LeaseHits += o.LeaseHits
 	c.LeaseFallbacks += o.LeaseFallbacks
+	c.InboundDropped += o.InboundDropped
+	c.BudgetDelayed += o.BudgetDelayed
+	c.BudgetCoalesced += o.BudgetCoalesced
 }
 
 // leaseState is the proposer-side record of a round lease: the last

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -27,6 +28,19 @@ type Options struct {
 	// requests but stops reading would otherwise pin the connection's
 	// responder goroutines on a full TCP window forever. Default 30 s.
 	WriteTimeout time.Duration
+	// MaxConns caps concurrently served client connections. A connection
+	// accepted over the cap is answered with a single StatusBusy frame
+	// (request ID 0) and closed before any request is read — fd and
+	// goroutine cost stays bounded under a connection flood. Default 1024.
+	MaxConns int
+	// MaxTotalInFlight caps concurrently executing requests across ALL
+	// connections. Unlike the per-connection MaxInFlight — whose excess
+	// pipelined frames queue, which is that one client's own
+	// backpressure — server-wide excess is shed immediately with
+	// StatusBusy: queuing other clients' load behind a global limit
+	// would turn overload into unbounded latency for everyone.
+	// Default 4096.
+	MaxTotalInFlight int
 }
 
 func (o Options) withDefaults() Options {
@@ -38,6 +52,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.WriteTimeout <= 0 {
 		o.WriteTimeout = 30 * time.Second
+	}
+	if o.MaxConns <= 0 {
+		o.MaxConns = 1024
+	}
+	if o.MaxTotalInFlight <= 0 {
+		o.MaxTotalInFlight = 4096
 	}
 	return o
 }
@@ -64,6 +84,10 @@ type Server struct {
 	seq atomic.Uint64
 
 	served atomic.Uint64 // requests answered, all statuses
+
+	inflight     atomic.Int64  // requests executing across all connections
+	shedConns    atomic.Uint64 // connections refused at accept (StatusBusy handshake)
+	shedRequests atomic.Uint64 // requests answered StatusBusy over MaxTotalInFlight
 }
 
 // New returns a server for node. The node is owned by the caller and must
@@ -122,6 +146,14 @@ func (s *Server) Addr() string {
 // Served returns the number of requests answered so far.
 func (s *Server) Served() uint64 { return s.served.Load() }
 
+// ShedConns returns the number of connections refused at accept because
+// MaxConns was reached (each got the StatusBusy close handshake).
+func (s *Server) ShedConns() uint64 { return s.shedConns.Load() }
+
+// ShedRequests returns the number of requests answered StatusBusy because
+// MaxTotalInFlight was reached.
+func (s *Server) ShedRequests() uint64 { return s.shedRequests.Load() }
+
 // Close stops accepting, closes every client connection, and waits for
 // in-flight requests to unwind. The underlying node keeps running.
 func (s *Server) Close() error {
@@ -168,11 +200,59 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			return
 		default:
 		}
+		if len(s.conns) >= s.opts.MaxConns {
+			// Over the connection cap: refuse with an explicit busy
+			// handshake instead of a bare close, so the client can tell
+			// "server overloaded, back off and retry" apart from a fate
+			// it must treat as uncertain. No request frame is ever read,
+			// so nothing can have been applied.
+			s.wg.Add(1)
+			s.mu.Unlock()
+			s.shedConns.Add(1)
+			go s.refuseConn(conn)
+			continue
+		}
 		s.conns[conn] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
 		go s.serveConn(conn)
 	}
+}
+
+// refuseConn performs the busy-close handshake on a connection refused at
+// admission: one StatusBusy response with request ID 0 (no request was
+// read, so there is no ID to echo; docs/PROTOCOL.md §2.5), then close. The
+// write runs under the usual write deadline so a non-reading client cannot
+// pin the goroutine past it.
+//
+// The close is a half-close plus a bounded drain, not an immediate Close:
+// a client may already have pipelined a request onto the connection, and
+// closing with those bytes unread makes the kernel answer with a reset
+// that destroys the in-flight busy frame — the client would then see a
+// dead connection (an uncertain fate for updates) instead of the provably
+// safe refusal this handshake exists to deliver.
+func (s *Server) refuseConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	_ = conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+	resp := &wire.Response{
+		Op:     wire.OpAdmin | wire.RespBit,
+		ID:     0,
+		Status: wire.StatusBusy,
+		Msg:    "server: connection limit reached",
+	}
+	bw := bufio.NewWriter(conn)
+	if wire.WriteFrame(bw, resp.Encode()) != nil {
+		return
+	}
+	if bw.Flush() != nil {
+		return
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.CloseWrite()
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(time.Second))
+	_, _ = io.Copy(io.Discard, conn)
 }
 
 // connWriter serializes response frames onto one connection. Responses
@@ -226,14 +306,38 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		// Per-connection backpressure first: a connection pipelining past
+		// its own MaxInFlight waits here, which only stalls that client's
+		// read loop.
 		select {
 		case sem <- struct{}{}:
 		case <-s.quit:
 			return
 		}
+		// Server-wide cap second, and never by waiting: queuing one
+		// client's requests behind every other client's would turn
+		// overload into unbounded latency for all. Shed with StatusBusy —
+		// answered synchronously from the read loop, whose pace the
+		// response write naturally bounds.
+		if s.inflight.Add(1) > int64(s.opts.MaxTotalInFlight) {
+			s.inflight.Add(-1)
+			<-sem
+			s.shedRequests.Add(1)
+			s.served.Add(1)
+			busy := &wire.Response{
+				Op:     req.Op | wire.RespBit,
+				ID:     req.ID,
+				Status: wire.StatusBusy,
+				Msg:    "server: in-flight request limit reached",
+			}
+			if cw.send(busy) != nil {
+				return
+			}
+			continue
+		}
 		reqs.Add(1)
 		go func() {
-			defer func() { <-sem; reqs.Done() }()
+			defer func() { s.inflight.Add(-1); <-sem; reqs.Done() }()
 			resp := s.handle(req)
 			s.served.Add(1)
 			if cw.send(resp) != nil {

@@ -3,6 +3,7 @@ package server_test
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -22,6 +23,13 @@ import (
 // startCluster runs n replicas over an in-process mesh, each fronted by a
 // network server on an ephemeral loopback port.
 func startCluster(t *testing.T, n int) (addrs []string, cl *cluster.Cluster, stop func()) {
+	addrs, _, cl, stop = startClusterOpts(t, n, server.Options{RequestTimeout: 5 * time.Second})
+	return addrs, cl, stop
+}
+
+// startClusterOpts is startCluster with explicit server options, for the
+// admission-control tests that squeeze the load limits.
+func startClusterOpts(t *testing.T, n int, opts server.Options) (addrs []string, servers []*server.Server, cl *cluster.Cluster, stop func()) {
 	t.Helper()
 	mesh := transport.NewMesh(transport.WithSeed(1))
 	ids := make([]transport.NodeID, n)
@@ -39,16 +47,15 @@ func startCluster(t *testing.T, n int) (addrs []string, cl *cluster.Cluster, sto
 		mesh.Close()
 		t.Fatal(err)
 	}
-	var servers []*server.Server
 	for _, id := range ids {
-		srv, err := server.Start(cl.Node(id), "127.0.0.1:0", server.Options{RequestTimeout: 5 * time.Second})
+		srv, err := server.Start(cl.Node(id), "127.0.0.1:0", opts)
 		if err != nil {
 			t.Fatal(err)
 		}
 		servers = append(servers, srv)
 		addrs = append(addrs, srv.Addr())
 	}
-	return addrs, cl, func() {
+	return addrs, servers, cl, func() {
 		for _, srv := range servers {
 			_ = srv.Close()
 		}
@@ -223,6 +230,164 @@ func TestServeClosesOnGarbage(t *testing.T) {
 	_ = nc.SetReadDeadline(time.Now().Add(5 * time.Second))
 	if _, err := wire.ReadFrame(bufio.NewReader(nc)); err == nil {
 		t.Fatal("server answered a garbage frame")
+	}
+}
+
+// dialRaw opens a raw protocol connection for tests that speak frames by
+// hand.
+func dialRaw(t *testing.T, addr string) (net.Conn, *bufio.Reader) {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = nc.Close() })
+	return nc, bufio.NewReader(nc)
+}
+
+func sendRaw(t *testing.T, nc net.Conn, req *wire.Request) {
+	t.Helper()
+	if err := wire.WriteFrame(nc, req.Encode()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readRaw(t *testing.T, nc net.Conn, br *bufio.Reader, timeout time.Duration) *wire.Response {
+	t.Helper()
+	_ = nc.SetReadDeadline(time.Now().Add(timeout))
+	frame, err := wire.ReadFrame(br)
+	if err != nil {
+		t.Fatalf("read frame: %v", err)
+	}
+	resp, err := wire.DecodeResponse(frame)
+	if err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return resp
+}
+
+func incReq(id uint64, key string) *wire.Request {
+	return &wire.Request{
+		Op: wire.OpUpdate, ID: id, Key: key,
+		CRDTType: crdt.TypeGCounter, Mutation: wire.MutInc,
+		Args: [][]byte{binary.AppendUvarint(nil, 1)},
+	}
+}
+
+// TestServeConnLimitBusyHandshake fills the connection cap and checks a
+// further connection gets exactly the busy-close handshake — one
+// StatusBusy response on request ID 0, then EOF — while the admitted
+// connection keeps working, and that the client library surfaces the
+// refusal as the retryable ErrBusy rather than an uncertain fate.
+func TestServeConnLimitBusyHandshake(t *testing.T) {
+	addrs, servers, _, stop := startClusterOpts(t, 1, server.Options{
+		RequestTimeout: 5 * time.Second,
+		MaxConns:       1,
+	})
+	defer stop()
+
+	nc1, br1 := dialRaw(t, addrs[0])
+	// A roundtrip proves the first connection is registered (accepted and
+	// admitted) before the second dial races it for the one slot.
+	sendRaw(t, nc1, &wire.Request{Op: wire.OpAdmin, ID: 1, Cmd: "ping"})
+	if resp := readRaw(t, nc1, br1, 5*time.Second); resp.Status != wire.StatusOK {
+		t.Fatalf("ping on admitted conn: %+v", resp)
+	}
+
+	nc2, br2 := dialRaw(t, addrs[0])
+	resp := readRaw(t, nc2, br2, 5*time.Second)
+	if resp.ID != 0 || resp.Status != wire.StatusBusy || resp.Op != wire.OpAdmin|wire.RespBit {
+		t.Fatalf("refused conn got %+v, want OpAdmin ID 0 StatusBusy", resp)
+	}
+	_ = nc2.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := wire.ReadFrame(br2); err == nil {
+		t.Fatal("refused connection stayed open after the busy handshake")
+	}
+	if got := servers[0].ShedConns(); got == 0 {
+		t.Fatal("ShedConns did not count the refused connection")
+	}
+
+	// The admitted connection is unaffected.
+	sendRaw(t, nc1, &wire.Request{Op: wire.OpAdmin, ID: 2, Cmd: "ping"})
+	if resp := readRaw(t, nc1, br1, 5*time.Second); resp.ID != 2 || resp.Status != wire.StatusOK {
+		t.Fatalf("admitted conn broken after a refusal: %+v", resp)
+	}
+
+	// The client library sees the handshake as ErrBusy: retryable-safe
+	// (the server read nothing), not uncertain.
+	c, err := client.New(addrs, client.WithRetryPolicy(client.RetryPolicy{
+		MaxAttempts: 2, Backoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond,
+	}), client.WithRequestTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Counter("k").Inc(context.Background(), 1)
+	if !errors.Is(err, client.ErrBusy) {
+		t.Fatalf("err = %v, want ErrBusy", err)
+	}
+	if errors.Is(err, client.ErrUncertain) {
+		t.Fatalf("refused-at-admission error %v must not read as uncertain", err)
+	}
+}
+
+// TestServeInFlightLimits pins down the two-tier in-flight semantics with
+// a stalled cluster (majority crashed, so updates park until recovery):
+// one connection's pipelined frames beyond its own MaxInFlight queue —
+// that client's private backpressure — while load beyond the server-wide
+// MaxTotalInFlight is shed immediately with StatusBusy. After recovery
+// every queued request completes.
+func TestServeInFlightLimits(t *testing.T) {
+	addrs, servers, cl, stop := startClusterOpts(t, 3, server.Options{
+		RequestTimeout:   30 * time.Second,
+		MaxInFlight:      2,
+		MaxTotalInFlight: 3,
+	})
+	defer stop()
+	cl.Crash("n2")
+	cl.Crash("n3")
+
+	// Connection A pipelines 4 updates: 2 execute (and hang on the lost
+	// quorum), 2 queue behind A's per-conn semaphore.
+	ncA, brA := dialRaw(t, addrs[0])
+	for id := uint64(1); id <= 4; id++ {
+		sendRaw(t, ncA, incReq(id, "hits"))
+	}
+	time.Sleep(200 * time.Millisecond) // let A's first two enter execution
+
+	// Connection B: its first update takes the last server-wide slot; the
+	// second must be shed with StatusBusy echoing its request ID.
+	ncB, brB := dialRaw(t, addrs[0])
+	sendRaw(t, ncB, incReq(10, "hits"))
+	time.Sleep(100 * time.Millisecond)
+	sendRaw(t, ncB, incReq(11, "hits"))
+	resp := readRaw(t, ncB, brB, 5*time.Second)
+	if resp.ID != 11 || resp.Status != wire.StatusBusy {
+		t.Fatalf("over-cap request got %+v, want ID 11 StatusBusy", resp)
+	}
+	if got := servers[0].ShedRequests(); got != 1 {
+		t.Fatalf("ShedRequests = %d, want 1", got)
+	}
+
+	// Recovery lets every admitted request — executing and per-conn
+	// queued alike — run to completion.
+	cl.Recover("n2")
+	cl.Recover("n3")
+	seen := map[uint64]bool{}
+	for i := 0; i < 4; i++ {
+		resp := readRaw(t, ncA, brA, 20*time.Second)
+		if resp.Status != wire.StatusOK {
+			t.Fatalf("queued update %d failed after recovery: %+v", resp.ID, resp)
+		}
+		seen[resp.ID] = true
+	}
+	for id := uint64(1); id <= 4; id++ {
+		if !seen[id] {
+			t.Fatalf("no response for pipelined request %d (responses: %v)", id, seen)
+		}
+	}
+	if resp := readRaw(t, ncB, brB, 20*time.Second); resp.ID != 10 || resp.Status != wire.StatusOK {
+		t.Fatalf("B's admitted update got %+v, want ID 10 OK", resp)
 	}
 }
 

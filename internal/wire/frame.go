@@ -83,6 +83,12 @@ const (
 	// StatusError: the operation ran and failed terminally (e.g. mutation
 	// applied to an object of a different CRDT type).
 	StatusError byte = 4
+	// StatusBusy: the server shed the operation (or, with request ID 0,
+	// the whole connection) at admission, before any of it executed —
+	// its connection or in-flight limit is exceeded. The operation was
+	// NOT applied; retrying anywhere is safe, but the client must back
+	// off first (docs/PROTOCOL.md §2.5).
+	StatusBusy byte = 5
 )
 
 // ErrFrameTooLarge is returned for frames exceeding MaxFrame.

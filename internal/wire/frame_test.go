@@ -44,6 +44,9 @@ func TestResponseRoundTrip(t *testing.T) {
 		{Op: OpAdmin | RespBit, ID: 1, Status: StatusOK, Payload: []byte("pong")},
 		{Op: OpUpdate | RespBit, ID: 4, Status: StatusUnavailable, Msg: "node crashed"},
 		{Op: OpQuery | RespBit, ID: 5, Status: StatusError, Msg: "type mismatch"},
+		{Op: OpUpdate | RespBit, ID: 6, Status: StatusBusy, Msg: "in-flight limit"},
+		// The busy-close handshake frame: admin op, request ID 0.
+		{Op: OpAdmin | RespBit, ID: 0, Status: StatusBusy, Msg: "connection limit"},
 	}
 	for _, in := range cases {
 		got, err := DecodeResponse(in.Encode())
@@ -73,7 +76,7 @@ func TestResponseRoundTrip(t *testing.T) {
 // client's entire error taxonomy rides on.
 func TestResponseStatusRoundTrip(t *testing.T) {
 	ops := []byte{OpUpdate | RespBit, OpQuery | RespBit, OpAdmin | RespBit}
-	statuses := []byte{StatusUnavailable, StatusUncertain, StatusBadRequest, StatusError, 9, 255}
+	statuses := []byte{StatusUnavailable, StatusUncertain, StatusBadRequest, StatusError, StatusBusy, 9, 255}
 	msgs := []string{"", "node crashed", "unicode état ⊥", string(make([]byte, 4096))}
 	for _, op := range ops {
 		for _, status := range statuses {
@@ -220,6 +223,8 @@ func FuzzDecodeResponse(f *testing.F) {
 	f.Add((&Response{Op: OpAdmin | RespBit, ID: 4, Status: StatusBadRequest, Msg: "unknown admin command"}).Encode())
 	f.Add((&Response{Op: OpUpdate | RespBit, ID: 5, Status: StatusError, Msg: "type mismatch"}).Encode())
 	f.Add((&Response{Op: OpQuery | RespBit, ID: 6, Status: 9, Msg: "status from the future"}).Encode())
+	f.Add((&Response{Op: OpUpdate | RespBit, ID: 8, Status: StatusBusy, Msg: "in-flight limit"}).Encode())
+	f.Add((&Response{Op: OpAdmin | RespBit, ID: 0, Status: StatusBusy, Msg: "connection limit"}).Encode())
 	f.Add((&Response{Op: OpUpdate | RespBit, ID: 7, Status: StatusUnavailable}).Encode())
 	f.Add([]byte{FrameVersion})
 	f.Fuzz(func(t *testing.T, frame []byte) {
