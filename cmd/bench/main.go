@@ -17,7 +17,11 @@
 // per seed; see internal/shootout), and -figure overload sweeps offered
 // closed-loop load past the admission caps and reports goodput and p99
 // completion latency with admission control on (StatusBusy sheds plus
-// client backoff) and off (everything queues).
+// client backoff) and off (everything queues), and -figure shards
+// measures the durable store's update throughput as persistence moves
+// from the seed's serial one-Save-per-event loop to the asynchronous
+// group-commit pipeline across event-loop shard counts, under an
+// emulated per-write device flush.
 //
 // The default scale finishes in minutes; raise -duration and -clients to
 // approach the paper's 10-minute, 4096-client runs.
@@ -56,7 +60,7 @@ func main() {
 
 func run() error {
 	var (
-		figure   = flag.String("figure", "all", "figure to regenerate: 1, 2, 3, 4, keys, clients, bytes, lease, protocols, overload, or all")
+		figure   = flag.String("figure", "all", "figure to regenerate: 1, 2, 3, 4, keys, clients, bytes, lease, protocols, overload, shards, or all")
 		duration = flag.Duration("duration", 2*time.Second, "measurement duration per data point (paper: 10m)")
 		warmup   = flag.Duration("warmup", 300*time.Millisecond, "warm-up excluded from statistics")
 		clients  = flag.String("clients", "1,8,64,256", "comma-separated client sweep (paper: 1..4096)")
@@ -146,13 +150,19 @@ func run() error {
 				return err
 			}
 			return saveFig(fig)
+		case "shards":
+			fig, err := bench.FigureShards(out, scale)
+			if err != nil {
+				return err
+			}
+			return saveFig(fig)
 		default:
 			return fmt.Errorf("unknown figure %q", fig)
 		}
 	}
 
 	if *figure == "all" {
-		for _, fig := range []string{"1", "2", "3", "4", "keys", "clients", "bytes", "lease", "protocols", "overload"} {
+		for _, fig := range []string{"1", "2", "3", "4", "keys", "clients", "bytes", "lease", "protocols", "overload", "shards"} {
 			if err := runOne(fig); err != nil {
 				return err
 			}

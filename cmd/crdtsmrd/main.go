@@ -102,6 +102,7 @@ func serve(args []string) error {
 	dataDir := fs.String("data-dir", "", "snapshot directory for crash recovery; a killed replica re-exec'd with the same directory serves its pre-crash data (empty: volatile)")
 	recoverFlag := fs.String("recover", "strict", "corrupt-snapshot policy at startup: strict (refuse to start) or ignore-corrupt (affected keys start fresh and re-learn from the cluster)")
 	fsync := fs.Bool("fsync", false, "fsync every snapshot write (survives power loss, not just process death)")
+	shards := fs.Int("shards", 0, "key-sharded event loops per replica; keys hash to a shard and shards share nothing on the hot path (0: CRDTSMR_SHARDS env, else one per CPU)")
 	maxConns := fs.Int("max-conns", 0, "client connection cap; further connections get one busy frame and a close (0: default 1024)")
 	maxInflight := fs.Int("max-inflight", 0, "server-wide executing-request cap; excess is answered busy instead of queued (0: default 4096)")
 	linkBudget := fs.Int("link-budget", 0, "per-peer replica-link byte budget in bytes/sec, delaying and coalescing MERGE traffic over it (0 disables)")
@@ -153,6 +154,7 @@ func serve(args []string) error {
 		Options:       opts,
 		BatchInterval: *batch,
 		StateTransfer: mode,
+		Shards:        *shards,
 		DataDir:       *dataDir,
 		PersistSync:   syncPolicy,
 		Recover:       recoverPolicy,
@@ -201,8 +203,8 @@ func serve(args []string) error {
 			fmt.Fprintf(os.Stderr, "crdtsmrd: warning: skipped %d corrupt snapshot(s) under -recover=ignore-corrupt; affected keys re-learn from the cluster\n", skipped)
 		}
 	}
-	fmt.Printf("replica %s up: mesh %s, clients %s, default payload %s, state transfer %s, %s\n",
-		*id, *listen, srv.Addr(), *payload, mode, durability)
+	fmt.Printf("replica %s up: mesh %s, clients %s, default payload %s, state transfer %s, %d event-loop shard(s), %s\n",
+		*id, *listen, srv.Addr(), *payload, mode, node.Shards(), durability)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

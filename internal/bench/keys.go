@@ -9,6 +9,7 @@ import (
 	"crdtsmr/internal/cluster"
 	"crdtsmr/internal/core"
 	"crdtsmr/internal/crdt"
+	"crdtsmr/internal/persist"
 	"crdtsmr/internal/store"
 	"crdtsmr/internal/transport"
 )
@@ -31,12 +32,49 @@ type MultiCRDTSystem struct {
 // NewMultiCRDTSystem starts the sharded store over n replicas and nKeys
 // keys. batch enables per-key §3.6 batching.
 func NewMultiCRDTSystem(n, nKeys int, batch time.Duration, net NetProfile) (*MultiCRDTSystem, error) {
+	return NewMultiCRDTSystemOpts(n, nKeys, MultiOpts{Batch: batch}, net)
+}
+
+// MultiOpts configures the store beyond the defaults: batching, event-loop
+// sharding, and the durability pipeline. The zero value reproduces
+// NewMultiCRDTSystem's volatile, default-sharded store.
+type MultiOpts struct {
+	// Batch enables per-key §3.6 batching.
+	Batch time.Duration
+	// DataDir, when non-empty, makes every node durable (each persists
+	// into its own subdirectory).
+	DataDir string
+	// Shards sets the per-node event-loop shard count (0 = default).
+	Shards int
+	// SerialPersist forces the synchronous one-Save-per-event durability
+	// path — the pre-group-commit baseline the shards figure compares
+	// against.
+	SerialPersist bool
+	// PersistSync and PersistWriteDelay pass through to the snapshot
+	// store: the sync policy and the emulated per-write device latency.
+	PersistSync       persist.SyncPolicy
+	PersistWriteDelay time.Duration
+	// Retransmit overrides the 10 ms retransmit interval. The durability
+	// benchmarks must: with per-write flush latency, op latencies sit in
+	// the 10-500 ms range, and a 10 ms timer floods the slow rows' event
+	// queues with duplicate MERGEs until fresh frames are dropped.
+	Retransmit time.Duration
+}
+
+// NewMultiCRDTSystemOpts is NewMultiCRDTSystem with explicit store
+// options; the durability benchmarks use it to pit the serial-persist
+// baseline against the sharded group-commit pipeline.
+func NewMultiCRDTSystemOpts(n, nKeys int, o MultiOpts, net NetProfile) (*MultiCRDTSystem, error) {
 	if nKeys <= 0 {
 		return nil, fmt.Errorf("bench: need at least one key, got %d", nKeys)
 	}
 	name := fmt.Sprintf("CRDT Paxos sharded(%d keys)", nKeys)
-	if batch > 0 {
-		name = fmt.Sprintf("CRDT Paxos sharded(%d keys) w/batching(%s)", nKeys, batch)
+	if o.Batch > 0 {
+		name = fmt.Sprintf("CRDT Paxos sharded(%d keys) w/batching(%s)", nKeys, o.Batch)
+	}
+	retransmit := o.Retransmit
+	if retransmit <= 0 {
+		retransmit = 10 * time.Millisecond
 	}
 	mesh := net.mesh()
 	ids := members(n)
@@ -44,8 +82,13 @@ func NewMultiCRDTSystem(n, nKeys int, batch time.Duration, net NetProfile) (*Mul
 		Members:            ids,
 		Initial:            crdt.NewGCounter(),
 		Options:            core.DefaultOptions(),
-		BatchInterval:      batch,
-		RetransmitInterval: 10 * time.Millisecond,
+		BatchInterval:      o.Batch,
+		RetransmitInterval: retransmit,
+		Shards:             o.Shards,
+		DataDir:            o.DataDir,
+		SerialPersist:      o.SerialPersist,
+		PersistSync:        o.PersistSync,
+		PersistWriteDelay:  o.PersistWriteDelay,
 	})
 	if err != nil {
 		mesh.Close()

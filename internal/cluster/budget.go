@@ -9,7 +9,7 @@ import (
 // linkBudget is a token-bucket byte budget for one directed replica link,
 // in the shape ROADMAP names for overload safety: a bucket refilled at
 // Rate bytes/sec up to Burst bytes, paired with a per-key coalescer for
-// envelopes the bucket cannot admit yet. It is owned by the node's event
+// envelopes the bucket cannot admit yet. It is owned by one shard's event
 // loop (never accessed concurrently), takes the current time as an
 // argument everywhere, and performs no I/O itself — the loop sends what
 // take/drain admit — so it runs identically under the wall clock and
@@ -143,65 +143,71 @@ func (b *linkBudget) eta(now time.Time) time.Duration {
 	return time.Duration(missing / b.rate * float64(time.Second))
 }
 
-// budgetFor returns the budget of the link to peer, creating it lazily.
-func (n *Node) budgetFor(peer transport.NodeID) *linkBudget {
-	if b, ok := n.budgets[peer]; ok {
+// budgetFor returns the shard's budget of the link to peer, creating it
+// lazily. The node's configured budget divides evenly across shards —
+// each shard paces its own keys' share of the link without cross-shard
+// coordination, so the node-wide rate still sums to Config.LinkBudget
+// (exactly under even key spread, approximately under skew).
+func (s *shard) budgetFor(peer transport.NodeID) *linkBudget {
+	if b, ok := s.budgets[peer]; ok {
 		return b
 	}
-	b := newLinkBudget(float64(n.cfg.LinkBudget), float64(n.cfg.LinkBurst), n.cfg.Clock.Now())
-	n.budgets[peer] = b
+	shards := float64(len(s.n.shards))
+	b := newLinkBudget(float64(s.n.cfg.LinkBudget)/shards, float64(s.n.cfg.LinkBurst)/shards, s.n.cfg.Clock.Now())
+	s.budgets[peer] = b
 	return b
 }
 
 // sendBudgeted transmits one packed frame to peer, or queues it when the
 // link's budget cannot admit it yet, arming a drain timer for the queued
-// head. Called only from the event loop.
-func (n *Node) sendBudgeted(peer transport.NodeID, key string, packed []byte) {
-	b := n.budgetFor(peer)
-	if b.take(n.cfg.Clock.Now(), len(packed)) {
-		n.conn.Send(peer, packed)
+// head. Called only from the shard's event loop.
+func (s *shard) sendBudgeted(peer transport.NodeID, key string, packed []byte) {
+	b := s.budgetFor(peer)
+	if b.take(s.n.cfg.Clock.Now(), len(packed)) {
+		s.n.conn.Send(peer, packed)
 		return
 	}
 	b.delay(key, packed)
-	n.armBudgetTimer(peer, b)
+	s.armBudgetTimer(peer, b)
 }
 
 // armBudgetTimer schedules the next drain attempt for peer's queue, if
 // one is not already pending.
-func (n *Node) armBudgetTimer(peer transport.NodeID, b *linkBudget) {
-	if n.budgetTimers[peer] || len(b.queue) == 0 {
+func (s *shard) armBudgetTimer(peer transport.NodeID, b *linkBudget) {
+	if s.budgetTimers[peer] || len(b.queue) == 0 {
 		return
 	}
-	n.budgetTimers[peer] = true
-	wait := b.eta(n.cfg.Clock.Now())
+	s.budgetTimers[peer] = true
+	wait := b.eta(s.n.cfg.Clock.Now())
 	if wait <= 0 {
 		wait = time.Millisecond
 	}
-	n.cfg.Clock.AfterFunc(wait, func() {
-		n.post(nodeEvent{kind: evBudget, from: peer})
+	s.n.cfg.Clock.AfterFunc(wait, func() {
+		s.post(nodeEvent{kind: evBudget, from: peer})
 	})
 }
 
-// drainBudget runs on the event loop when peer's drain timer fires.
-func (n *Node) drainBudget(peer transport.NodeID) {
-	delete(n.budgetTimers, peer)
-	b, ok := n.budgets[peer]
+// drainBudget runs on the shard's event loop when peer's drain timer
+// fires.
+func (s *shard) drainBudget(peer transport.NodeID) {
+	delete(s.budgetTimers, peer)
+	b, ok := s.budgets[peer]
 	if !ok {
 		return
 	}
-	for _, d := range b.drain(n.cfg.Clock.Now()) {
-		if !n.crashed {
-			n.conn.Send(peer, d.packed)
+	for _, d := range b.drain(s.n.cfg.Clock.Now()) {
+		if !s.crashed {
+			s.n.conn.Send(peer, d.packed)
 		}
 	}
-	n.armBudgetTimer(peer, b)
+	s.armBudgetTimer(peer, b)
 }
 
 // dropBudgetQueues discards every delayed envelope (crash or restart:
 // queued frames are indistinguishable from in-flight ones, and the
 // transport would drop them anyway).
-func (n *Node) dropBudgetQueues() {
-	for _, b := range n.budgets {
+func (s *shard) dropBudgetQueues() {
+	for _, b := range s.budgets {
 		b.queue = nil
 	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"crdtsmr/internal/crdt"
 	"crdtsmr/internal/transport"
+	"crdtsmr/internal/wire"
 )
 
 func TestLinkBudgetTakeRefillDrain(t *testing.T) {
@@ -188,7 +189,7 @@ func TestClusterLinkBudgetPacesAndConverges(t *testing.T) {
 
 // TestHandleInboundNeverBlocks is the regression test for the
 // head-of-line bug: handleInbound runs on the transport's delivery
-// goroutine, and with the node's event loop wedged and the 8192-slot
+// goroutine, and with a shard's event loop wedged and its 8192-slot
 // event queue full it used to park that goroutine — stalling every
 // peer's replica traffic behind one slow node. It must instead drop,
 // count, and return immediately, and the node must serve normally once
@@ -203,18 +204,23 @@ func TestHandleInboundNeverBlocks(t *testing.T) {
 	defer c.Close()
 	n1 := c.Node("n1")
 
-	// Wedge the event loop on a side-band call.
+	// Wedge the default key's shard loop on a side-band call. Frames are
+	// routed by envelope key before they reach any loop, so the flood
+	// must target the wedged shard's keys to fill its queue.
+	sh := n1.shardOf(DefaultKey)
 	unblock := make(chan struct{})
-	go n1.call(func() { <-unblock })
+	go sh.call(func() { <-unblock })
 	time.Sleep(10 * time.Millisecond) // let the loop pick the call up
 
 	// Flood well past the queue capacity from this (foreign) goroutine,
-	// exactly as the transport's delivery goroutine would.
+	// exactly as the transport's delivery goroutine would, with decodable
+	// envelopes addressed to the wedged shard.
+	frame := wire.PackEnvelope(DefaultKey, []byte("junk"))
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		for i := 0; i < 3*cap(n1.events); i++ {
-			n1.handleInbound("n2", []byte("junk"))
+		for i := 0; i < 3*cap(sh.events); i++ {
+			n1.handleInbound("n2", frame)
 		}
 	}()
 	select {

@@ -1,16 +1,29 @@
 // Package cluster provides the asynchronous runtime that turns the pure
-// protocol state machine of internal/core into live replicas: one event
-// loop per node serializes client commands, inbound messages, and timers
-// (the paper's serial-process assumption, §3.2), a retransmission timer per
-// in-flight request covers message loss, and an optional per-proposer batch
-// (§3.6) amortizes protocol runs across commands.
+// protocol state machine of internal/core into live replicas. A node
+// runs Config.Shards independent key-sharded event loops: keys hash to a
+// shard, and each shard's loop serializes its keys' client commands,
+// inbound messages, and timers (the paper's serial-process assumption,
+// §3.2, per shard), with a retransmission timer per in-flight request
+// covering message loss and an optional per-proposer batch (§3.6)
+// amortizing protocol runs across commands. Shards share nothing on the
+// hot path — per-object independence means replicas of different keys
+// never interact — so different keys' protocol work spreads across
+// cores (docs/ARCHITECTURE.md, "Threading model").
 //
 // A node is not limited to one replicated object: because the protocol
 // keeps no cross-command log, replication instances compose per key. Each
 // object key owns an independent core.Replica (payload + round counter,
-// nothing more), all keys share the node's event loop and transport
-// connection, and protocol messages carry an object-ID envelope
-// (internal/wire) that routes them to the right instance. Replicas are
-// instantiated lazily on first touch — locally by a command, remotely by
-// the first inbound message for the key.
+// nothing more), all keys share the node's transport connection, and
+// protocol messages carry an object-ID envelope (internal/wire) that
+// routes them to the right instance. Replicas are instantiated lazily on
+// first touch — locally by a command, remotely by the first inbound
+// message for the key.
+//
+// Durable nodes (Config.DataDir) decouple disk latency from the loops:
+// each shard owns a persister goroutine that commits snapshot writes in
+// groups (persist.Store.SaveBatch — one directory sync per batch), and
+// the loop releases a key's outbound envelopes and client completions
+// only after the writes ordered before them have landed
+// (persist-before-ack, kept per key). Config.SerialPersist restores the
+// synchronous one-Save-per-event path for comparison.
 package cluster

@@ -4,7 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,6 +54,16 @@ type Config struct {
 	// commands buffer locally per key and flush every interval, one
 	// protocol run per key per batch. The paper's evaluation uses 5 ms.
 	BatchInterval time.Duration
+	// Shards is the number of independent key-sharded event loops the
+	// node runs. Keys hash to a shard; each shard owns its replicas,
+	// timers, batches, and outbox with no cross-shard locks on the hot
+	// path, so different keys' protocol work spreads across cores
+	// (the per-object independence the paper's protocol guarantees —
+	// replicas of different keys share nothing). Zero selects the
+	// CRDTSMR_SHARDS environment variable when set, else
+	// runtime.GOMAXPROCS(0). Single-key deployments gain nothing from
+	// more than one shard.
+	Shards int
 	// StateTransfer selects the replica-wire state-transfer strategy for
 	// every key: full payloads (default), digest-suppressed, or delta
 	// (docs/PROTOCOL.md §3). It is copied into Options.Transfer unless
@@ -69,6 +82,22 @@ type Config struct {
 	// default: atomic renames survive process crashes; SyncAlways also
 	// survives power loss).
 	PersistSync persist.SyncPolicy
+	// SerialPersist reverts durability to the synchronous
+	// write-inside-the-event-loop path: each key's snapshot is saved
+	// before the loop moves to the next event, so one key's disk flush
+	// stalls every key on the shard. The default (false) runs a per-shard
+	// persister goroutine with group commit instead: snapshot writes for
+	// many keys accumulate while the disk is busy and land in one batch
+	// with a single directory sync, overlapping disk latency with
+	// protocol processing. Both paths uphold persist-before-ack per key.
+	// This knob exists as the measured baseline of `bench -figure shards`
+	// and as an operational escape hatch.
+	SerialPersist bool
+	// PersistWriteDelay emulates device flush latency for benchmarks and
+	// tests: every persist.Store.Save sleeps this long, and every
+	// SaveBatch sleeps it once for the whole batch (the group-commit
+	// advantage under measurement). Zero (the default) for real disks.
+	PersistWriteDelay time.Duration
 	// Recover selects how corrupt snapshot files are treated when
 	// loading: fail startup (persist.RecoverStrict, the default) or skip
 	// them so the affected keys start fresh and re-learn from the
@@ -79,11 +108,19 @@ type Config struct {
 	// many payload bytes per second (token bucket, capacity LinkBurst).
 	// Envelopes over budget are delayed and coalesced per key instead of
 	// flooding the wire — see docs/ARCHITECTURE.md, "Overload and
-	// backpressure". Zero disables budgeting.
+	// backpressure". The budget divides evenly across shards (each shard
+	// paces its own keys' traffic independently), so a single hot key is
+	// governed by its shard's slice. Zero disables budgeting.
 	LinkBudget int
 	// LinkBurst is the bucket capacity in bytes. Defaults to one second
 	// of LinkBudget; values below LinkBudget/10 are raised to it.
 	LinkBurst int
+
+	// persistHook, when set by tests, is installed as the snapshot
+	// store's BeforeBatchRename hook: it runs after a group-commit
+	// batch's temp files are written but before any rename, modeling a
+	// crash that tears the whole batch.
+	persistHook func(keys []string) error
 }
 
 func (c Config) withDefaults() Config {
@@ -93,6 +130,9 @@ func (c Config) withDefaults() Config {
 	if c.RetransmitInterval <= 0 {
 		c.RetransmitInterval = 100 * time.Millisecond
 	}
+	if c.Shards <= 0 {
+		c.Shards = defaultShards()
+	}
 	if c.Options.Transfer == core.TransferFull {
 		c.Options.Transfer = c.StateTransfer
 	}
@@ -100,6 +140,18 @@ func (c Config) withDefaults() Config {
 		c.LinkBurst = c.LinkBudget
 	}
 	return c
+}
+
+// defaultShards resolves Config.Shards when unset: the CRDTSMR_SHARDS
+// environment variable (the CI matrix knob), else one shard per
+// schedulable CPU.
+func defaultShards() int {
+	if v := os.Getenv("CRDTSMR_SHARDS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // initialFor resolves the initial payload for an object key.
@@ -118,41 +170,35 @@ func (c Config) initialFor(key string) (crdt.State, error) {
 	return crdt.New(c.Initial.TypeName())
 }
 
-// Node is one running replica of the whole keyspace: a set of per-key
-// core.Replica instances driven by a single event loop over a single
-// transport connection.
+// Node is one running replica of the whole keyspace: Config.Shards
+// independent key-sharded event loops over a single transport
+// connection. Keys hash to a shard; each shard drives its keys'
+// core.Replica instances, timers, batches, and (on durable nodes) its
+// own group-commit persister, so one key's protocol work or disk flush
+// never stalls keys on other shards (docs/ARCHITECTURE.md, "Threading
+// model").
 type Node struct {
 	id   transport.NodeID
 	cfg  Config
 	conn transport.Conn
 
-	events chan nodeEvent
-	calls  chan func()
+	shards []*shard
 	quit   chan struct{}
 	wg     sync.WaitGroup
 
 	store *persist.Store // nil when cfg.DataDir is empty
 
-	// inboundDropped counts replica frames dropped because the event
-	// queue was full. It is written from the transport's delivery
-	// goroutine (the one place a full queue is observed), hence atomic.
-	inboundDropped atomic.Uint64
-
-	// Loop-owned state (accessed only from the event loop).
-	replicas      map[string]*core.Replica
-	timers        map[string]map[uint64]clock.Timer
-	budgets       map[transport.NodeID]*linkBudget // per-link byte budgets (LinkBudget > 0)
-	budgetTimers  map[transport.NodeID]bool        // links with a pending drain timer
-	dirty         []string                         // keys whose replica may hold outbox envelopes
-	droppedFrames uint64                           // inbound frames dropped before reaching a replica
-	crashed       bool
-	batchUpdates  map[string][]*updateOp
-	batchQueries  map[string][]*queryOp
-	flushTimer    clock.Timer
-	savedVersion  map[string]uint64 // per-key StateVersion last persisted
-	persistErrs   uint64            // failed snapshot writes (outbox + completions dropped)
-	skippedSnaps  uint64            // corrupt snapshots skipped under RecoverIgnoreCorrupt
-	notify        []keyedNotify     // client completions deferred past persistence
+	// inboundDropped counts replica frames dropped because a shard's
+	// event queue was full; malformedFrames counts frames whose object
+	// envelope failed to decode. Both are written from the transport's
+	// delivery goroutine (routing happens there, before any loop), hence
+	// atomic.
+	inboundDropped  atomic.Uint64
+	malformedFrames atomic.Uint64
+	// skippedSnaps counts corrupt snapshot files skipped under
+	// RecoverIgnoreCorrupt, across startup and every Restart. Written at
+	// startup and from Restart's caller goroutine, hence atomic.
+	skippedSnaps atomic.Uint64
 }
 
 // keyedNotify is one deferred client completion, tagged with the object
@@ -172,8 +218,9 @@ type nodeEvent struct {
 	query     *queryOp
 	reqID     uint64
 	crash     bool
-	queries   bool       // evFlush: flush the query batches (else the update batches)
-	restarted chan error // evRestart: receives the rehydration result
+	queries   bool                  // evFlush: flush the query batches (else the update batches)
+	snaps     []persist.KeySnapshot // evRestore: this shard's keys to rehydrate
+	restarted chan error            // evRestartPrep / evRestore: receives the phase result
 }
 
 type eventKind uint8
@@ -185,8 +232,9 @@ const (
 	evTimeout
 	evFlush
 	evSetCrashed
-	evRestart
-	evBudget // drain the link budget queue of peer `from`
+	evRestartPrep // drop volatile state, quiesce the persister, stay crashed
+	evRestore     // rehydrate from the given snapshots and resume serving
+	evBudget      // drain the link budget queue of peer `from`
 )
 
 type updateOp struct {
@@ -214,25 +262,24 @@ type queryResult struct {
 func NewNode(id transport.NodeID, cfg Config, join func(transport.NodeID, transport.Handler) transport.Conn) (*Node, error) {
 	cfg = cfg.withDefaults()
 	n := &Node{
-		id:           id,
-		cfg:          cfg,
-		events:       make(chan nodeEvent, 8192),
-		calls:        make(chan func()),
-		quit:         make(chan struct{}),
-		replicas:     make(map[string]*core.Replica),
-		timers:       make(map[string]map[uint64]clock.Timer),
-		budgets:      make(map[transport.NodeID]*linkBudget),
-		budgetTimers: make(map[transport.NodeID]bool),
-		batchUpdates: make(map[string][]*updateOp),
-		batchQueries: make(map[string][]*queryOp),
-		savedVersion: make(map[string]uint64),
+		id:   id,
+		cfg:  cfg,
+		quit: make(chan struct{}),
 	}
 	if cfg.DataDir != "" {
-		store, err := persist.Open(cfg.DataDir, persist.Options{Sync: cfg.PersistSync})
+		store, err := persist.Open(cfg.DataDir, persist.Options{
+			Sync:              cfg.PersistSync,
+			WriteDelay:        cfg.PersistWriteDelay,
+			BeforeBatchRename: cfg.persistHook,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("cluster: %s: %w", id, err)
 		}
 		n.store = store
+	}
+	n.shards = make([]*shard, cfg.Shards)
+	for i := range n.shards {
+		n.shards[i] = newShard(n, i)
 	}
 	// Instantiate the default object eagerly: it validates the member list
 	// and initial state once, at startup, rather than on the first command.
@@ -240,15 +287,31 @@ func NewNode(id transport.NodeID, cfg Config, join func(transport.NodeID, transp
 	if err != nil {
 		return nil, err
 	}
-	n.replicas[DefaultKey] = rep
+	n.shardOf(DefaultKey).replicas[DefaultKey] = rep
 	// Rehydrate before joining the transport: once the first message can
 	// arrive, every key's acceptor must already hold its pre-crash round.
-	if err := n.loadSnapshots(); err != nil {
-		return nil, err
+	// The shards' loops have not started, so installing directly is safe.
+	if n.store != nil {
+		snaps, skipped, err := n.store.LoadAll(cfg.Recover)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %s: %w", id, err)
+		}
+		n.skippedSnaps.Add(uint64(skipped))
+		for _, ks := range snaps {
+			if err := n.shardOf(ks.Key).installSnapshot(ks); err != nil {
+				return nil, err
+			}
+		}
 	}
 	n.conn = join(id, n.handleInbound)
-	n.wg.Add(1)
-	go n.loop()
+	for _, s := range n.shards {
+		n.wg.Add(1)
+		go s.loop()
+		if s.persistq != nil {
+			n.wg.Add(1)
+			go s.persister()
+		}
+	}
 	if cfg.BatchInterval > 0 {
 		// De-phase this node's flush cycle from its peers': replicas that
 		// flush in lockstep run their query protocols concurrently and
@@ -258,9 +321,12 @@ func NewNode(id transport.NodeID, cfg Config, join func(transport.NodeID, transp
 		// window in, not at zero — a flush racing node startup could ship
 		// a batch the instant a client enqueues it.
 		offset := cfg.BatchInterval * time.Duration(memberIndex(cfg.Members, id)+1) / time.Duration(len(cfg.Members))
-		n.cfg.Clock.AfterFunc(offset, func() {
-			n.post(nodeEvent{kind: evFlush})
-		})
+		for _, s := range n.shards {
+			s := s
+			n.cfg.Clock.AfterFunc(offset, func() {
+				s.post(nodeEvent{kind: evFlush})
+			})
+		}
 	}
 	return n, nil
 }
@@ -277,39 +343,45 @@ func memberIndex(members []transport.NodeID, id transport.NodeID) int {
 // ID returns the node's ID.
 func (n *Node) ID() transport.NodeID { return n.id }
 
-// call runs fn on the event loop and waits for it, for loop-synchronized
-// inspection. Returns false if the node is stopped.
-func (n *Node) call(fn func()) bool {
-	done := make(chan struct{})
-	select {
-	case n.calls <- func() { fn(); close(done) }:
-		select {
-		case <-done:
-			return true
-		case <-n.quit:
-			return false
-		}
-	case <-n.quit:
-		return false
+// Shards returns the number of event-loop shards the node runs.
+func (n *Node) Shards() int { return len(n.shards) }
+
+// shardFor maps an object key to its owning shard index (FNV-1a). The
+// mapping is a pure function of the key and the shard count, so every
+// command and inbound message for a key lands on the same loop.
+func (n *Node) shardFor(key string) int {
+	if len(n.shards) == 1 {
+		return 0
 	}
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return int(h % uint32(len(n.shards)))
 }
 
+func (n *Node) shardOf(key string) *shard { return n.shards[n.shardFor(key)] }
+
 // Counters returns a loop-synchronized snapshot of the protocol counters,
-// summed across every object instantiated on this node. Frames dropped
-// before reaching a replica — undecodable object envelope, or a key the
-// local configuration rejects — count toward MalformedMsgs.
+// summed across every object instantiated on this node, aggregated shard
+// by shard in index order. Frames dropped before reaching a replica — an
+// undecodable object envelope, or a key the local configuration rejects —
+// count toward MalformedMsgs.
 func (n *Node) Counters() core.Counters {
 	var sum core.Counters
-	n.call(func() {
-		for _, rep := range n.replicas {
-			sum.Add(rep.Counters())
-		}
-		sum.MalformedMsgs += n.droppedFrames
-		for _, b := range n.budgets {
-			sum.BudgetDelayed += b.delayed
-			sum.BudgetCoalesced += b.coalesced
-		}
-	})
+	for _, s := range n.shards {
+		s.call(func() {
+			for _, rep := range s.replicas {
+				sum.Add(rep.Counters())
+			}
+			sum.MalformedMsgs += s.droppedFrames
+			for _, b := range s.budgets {
+				sum.BudgetDelayed += b.delayed
+				sum.BudgetCoalesced += b.coalesced
+			}
+		})
+	}
+	sum.MalformedMsgs += n.malformedFrames.Load()
 	sum.InboundDropped += n.inboundDropped.Load()
 	return sum
 }
@@ -319,12 +391,13 @@ func (n *Node) Counters() core.Counters {
 // protocol message about it.
 func (n *Node) Keys() []string {
 	var keys []string
-	n.call(func() {
-		keys = make([]string, 0, len(n.replicas))
-		for k := range n.replicas {
-			keys = append(keys, k)
-		}
-	})
+	for _, s := range n.shards {
+		s.call(func() {
+			for k := range s.replicas {
+				keys = append(keys, k)
+			}
+		})
+	}
 	sort.Strings(keys)
 	return keys
 }
@@ -332,7 +405,9 @@ func (n *Node) Keys() []string {
 // Objects returns the number of object replicas instantiated on this node.
 func (n *Node) Objects() int {
 	count := 0
-	n.call(func() { count = len(n.replicas) })
+	for _, s := range n.shards {
+		s.call(func() { count += len(s.replicas) })
+	}
 	return count
 }
 
@@ -346,7 +421,7 @@ func (n *Node) Update(ctx context.Context, fu crdt.Update) (core.UpdateStats, er
 // and blocks until it is durable on a quorum or ctx is done.
 func (n *Node) UpdateKey(ctx context.Context, key string, fu crdt.Update) (core.UpdateStats, error) {
 	op := &updateOp{fu: fu, done: make(chan updateResult, 1)}
-	if err := n.submit(ctx, nodeEvent{kind: evUpdate, key: key, update: op}); err != nil {
+	if err := n.shardOf(key).submit(ctx, nodeEvent{kind: evUpdate, key: key, update: op}); err != nil {
 		return core.UpdateStats{}, err
 	}
 	select {
@@ -370,7 +445,7 @@ func (n *Node) Query(ctx context.Context) (crdt.State, core.QueryStats, error) {
 // state must be treated as immutable.
 func (n *Node) QueryKey(ctx context.Context, key string) (crdt.State, core.QueryStats, error) {
 	op := &queryOp{done: make(chan queryResult, 1)}
-	if err := n.submit(ctx, nodeEvent{kind: evQuery, key: key, query: op}); err != nil {
+	if err := n.shardOf(key).submit(ctx, nodeEvent{kind: evQuery, key: key, query: op}); err != nil {
 		return nil, core.QueryStats{}, err
 	}
 	select {
@@ -389,120 +464,103 @@ func (n *Node) QueryKey(ctx context.Context, key string) (crdt.State, core.Query
 // declares a peer down; a peer that returns with its state intact simply
 // re-earns its cache entries, and one that returns empty is caught by the
 // MERGE-NACK fallback either way, so forgetting is purely conservative.
+// The drop fans out to the shards in index order.
 func (n *Node) ForgetPeer(id transport.NodeID) {
-	n.call(func() {
-		for _, rep := range n.replicas {
-			rep.ForgetPeer(id)
-		}
-	})
+	for _, s := range n.shards {
+		s.call(func() {
+			for _, rep := range s.replicas {
+				rep.ForgetPeer(id)
+			}
+		})
+	}
 }
 
 // SetCrashed simulates a crash (true) or recovery (false). While crashed
 // the node drops inbound messages and fails commands, but keeps its
 // acceptor state — the paper assumes the crash-recovery model in which
-// processes retain their internal state across failures (§2.1).
+// processes retain their internal state across failures (§2.1). The flag
+// fans out to the shards in index order; commands submitted after
+// SetCrashed returns observe it on every shard.
 func (n *Node) SetCrashed(crashed bool) {
-	n.post(nodeEvent{kind: evSetCrashed, crash: crashed})
+	for _, s := range n.shards {
+		s.post(nodeEvent{kind: evSetCrashed, crash: crashed})
+	}
 }
 
 // Restart models a full process restart on a durable node: every volatile
 // structure is dropped — in-flight requests fail over to their clients,
 // batches are rejected, all per-key replicas and their transfer caches
-// are discarded — and the keyspace is rehydrated from the snapshot
-// directory, exactly as a freshly exec'd process with the same -data-dir
-// would come up. The transport binding survives (peers redial a real
-// process anyway). This is the paper's recovery claim at runtime: no log
-// replay, just one snapshot read per key.
+// are discarded, pending group-commit batches are flushed to disk and
+// their surviving completions delivered — and the keyspace is rehydrated
+// from the snapshot directory, exactly as a freshly exec'd process with
+// the same -data-dir would come up. The transport binding survives (peers
+// redial a real process anyway). This is the paper's recovery claim at
+// runtime: no log replay, just one snapshot read per key.
 //
 // Restart requires a DataDir. If rehydration fails (a corrupt snapshot
 // under the strict recover policy), the node stays crashed — refusing to
 // serve is the only safe answer when the disk cannot reproduce what was
 // promised to the quorum — and the error is returned.
 //
-// Restart travels the event channel, not the side-band call path, so it
-// serializes behind an immediately preceding SetCrashed(true): the usual
-// Crash-then-Restart sequence cannot observe the crash flag flipping back
-// on after the rehydration.
+// Restart runs in two phases, both travelling each shard's event channel
+// (never the side-band call path), so it serializes behind an immediately
+// preceding SetCrashed(true): first every shard drops its volatile state,
+// quiesces its persister, and parks crashed; then the snapshot directory
+// is read once and each shard rehydrates its own keys and resumes.
 func (n *Node) Restart() error {
-	ev := nodeEvent{kind: evRestart, restarted: make(chan error, 1)}
-	select {
-	case n.events <- ev:
-	case <-n.quit:
-		return ErrStopped
-	}
-	select {
-	case err := <-ev.restarted:
-		return err
-	case <-n.quit:
-		return ErrStopped
-	}
-}
-
-// restart runs on the event loop.
-func (n *Node) restart() error {
 	if n.store == nil {
 		return errors.New("cluster: Restart requires a DataDir (volatile nodes can only Recover)")
 	}
-	n.failEverything()
-	for key, byReq := range n.timers {
-		for reqID, t := range byReq {
-			t.Stop()
-			delete(byReq, reqID)
-		}
-		delete(n.timers, key)
-	}
-	n.replicas = make(map[string]*core.Replica)
-	n.savedVersion = make(map[string]uint64)
-	n.dirty = n.dirty[:0]
-	n.dropBudgetQueues()
-	rep, err := core.NewReplica(n.id, n.cfg.Members, n.cfg.Initial, n.cfg.Options)
-	if err != nil {
-		n.crashed = true
+	if err := n.restartPhase(func(s *shard) nodeEvent {
+		return nodeEvent{kind: evRestartPrep}
+	}); err != nil {
 		return err
 	}
-	n.replicas[DefaultKey] = rep
-	if err := n.loadSnapshots(); err != nil {
-		n.crashed = true
-		return err
-	}
-	n.crashed = false
-	return nil
-}
-
-// loadSnapshots rehydrates every persisted key: the replica is created
-// from the configured initial state and the snapshot restored into it
-// (Restore joins, so a snapshot can never regress below s0). A snapshot
-// for a key the local configuration rejects fails the load — serving a
-// keyspace the disk remembers but the config denies would be a silent
-// split-brain between configuration and data.
-func (n *Node) loadSnapshots() error {
-	if n.store == nil {
-		return nil
-	}
+	// Every shard is parked crashed and every persister drained: the
+	// directory is quiescent, so one scan serves all shards.
 	snaps, skipped, err := n.store.LoadAll(n.cfg.Recover)
 	if err != nil {
 		return fmt.Errorf("cluster: %s: %w", n.id, err)
 	}
-	n.skippedSnaps += uint64(skipped)
+	n.skippedSnaps.Add(uint64(skipped))
+	byShard := make([][]persist.KeySnapshot, len(n.shards))
 	for _, ks := range snaps {
-		rep, ok := n.replicas[ks.Key]
-		if !ok {
-			s0, err := n.cfg.initialFor(ks.Key)
-			if err != nil {
-				return fmt.Errorf("cluster: %s: snapshot for unconfigured key %q: %w", n.id, ks.Key, err)
-			}
-			rep, err = core.NewReplica(n.id, n.cfg.Members, s0, n.cfg.Options)
-			if err != nil {
-				return err
-			}
-			n.replicas[ks.Key] = rep
-		}
-		if err := rep.Restore(ks.Snap); err != nil {
-			return fmt.Errorf("cluster: %s: restore %q: %w", n.id, ks.Key, err)
-		}
-		n.savedVersion[ks.Key] = rep.StateVersion()
+		i := n.shardFor(ks.Key)
+		byShard[i] = append(byShard[i], ks)
 	}
-	return nil
+	return n.restartPhase(func(s *shard) nodeEvent {
+		return nodeEvent{kind: evRestore, snaps: byShard[s.idx]}
+	})
+}
+
+// restartPhase posts one restart event to every shard, then collects
+// every result. Posting everywhere before waiting anywhere keeps the
+// phases concurrent across shards while the per-shard event order is
+// preserved.
+func (n *Node) restartPhase(ev func(*shard) nodeEvent) error {
+	chans := make([]chan error, len(n.shards))
+	for i, s := range n.shards {
+		e := ev(s)
+		e.restarted = make(chan error, 1)
+		chans[i] = e.restarted
+		select {
+		case s.events <- e:
+		case <-n.quit:
+			return ErrStopped
+		}
+	}
+	var errs []error
+	for _, ch := range chans {
+		select {
+		case err := <-ch:
+			if err != nil {
+				errs = append(errs, err)
+			}
+		case <-n.quit:
+			return ErrStopped
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // PersistErrors returns how many snapshot writes have failed. Each
@@ -512,7 +570,9 @@ func (n *Node) loadSnapshots() error {
 // the disk does not hold.
 func (n *Node) PersistErrors() uint64 {
 	var v uint64
-	n.call(func() { v = n.persistErrs })
+	for _, s := range n.shards {
+		s.call(func() { v += s.persistErrs })
+	}
 	return v
 }
 
@@ -522,12 +582,11 @@ func (n *Node) PersistErrors() uint64 {
 // once held and re-learned from the cluster; operators should surface it
 // (crdtsmrd prints it at startup).
 func (n *Node) SkippedSnapshots() uint64 {
-	var v uint64
-	n.call(func() { v = n.skippedSnaps })
-	return v
+	return n.skippedSnaps.Load()
 }
 
-// Close stops the event loop and detaches from the transport.
+// Close stops every shard's event loop and persister and detaches from
+// the transport.
 func (n *Node) Close() error {
 	select {
 	case <-n.quit:
@@ -540,364 +599,29 @@ func (n *Node) Close() error {
 	return n.conn.Close()
 }
 
-func (n *Node) submit(ctx context.Context, ev nodeEvent) error {
-	select {
-	case n.events <- ev:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	case <-n.quit:
-		return ErrStopped
-	}
-}
-
-func (n *Node) post(ev nodeEvent) {
-	select {
-	case n.events <- ev:
-	case <-n.quit:
-	}
-}
-
-// handleInbound runs on the transport's delivery goroutine. It must
-// never block: the same goroutine delivers replica-to-replica protocol
-// traffic, so parking it on a full event queue would let client load
-// stall the replica wire cluster-wide (head-of-line blocking across
-// planes). A full queue instead drops the frame and counts it — the
-// transport is best-effort already, and retransmission recovers exactly
-// as it does from network loss.
+// handleInbound runs on the transport's delivery goroutine. It decodes
+// the object envelope and routes the frame to the owning shard's queue.
+// It must never block: the same goroutine delivers replica-to-replica
+// protocol traffic, so parking it on a full event queue would let one
+// hot shard stall the replica wire cluster-wide (head-of-line blocking
+// across planes). A full queue instead drops the frame and counts it —
+// the transport is best-effort already, and retransmission recovers
+// exactly as it does from network loss.
 func (n *Node) handleInbound(from transport.NodeID, payload []byte) {
+	key, inner, err := wire.UnpackEnvelope(payload)
+	if err != nil {
+		// Malformed frame: drop, per the unreliable-network model, but
+		// keep it visible in Counters — a peer speaking a different
+		// wire format would otherwise be undiagnosable.
+		n.malformedFrames.Add(1)
+		return
+	}
+	s := n.shardOf(key)
 	select {
-	case n.events <- nodeEvent{kind: evInbound, from: from, payload: payload}:
+	case s.events <- nodeEvent{kind: evInbound, from: from, key: key, payload: inner}:
 	case <-n.quit:
 	default:
 		n.inboundDropped.Add(1)
-	}
-}
-
-func (n *Node) loop() {
-	defer n.wg.Done()
-	for {
-		select {
-		case <-n.quit:
-			n.shutdown()
-			return
-		case ev := <-n.events:
-			n.handle(ev)
-		case fn := <-n.calls:
-			fn()
-		}
-		n.flushOutbox()
-	}
-}
-
-// replicaFor returns the replica owning key, instantiating it on first
-// touch. The key is marked dirty so its outbox is drained after the event.
-func (n *Node) replicaFor(key string) (*core.Replica, error) {
-	if rep, ok := n.replicas[key]; ok {
-		n.dirty = append(n.dirty, key)
-		return rep, nil
-	}
-	s0, err := n.cfg.initialFor(key)
-	if err != nil {
-		return nil, err
-	}
-	rep, err := core.NewReplica(n.id, n.cfg.Members, s0, n.cfg.Options)
-	if err != nil {
-		return nil, err
-	}
-	n.replicas[key] = rep
-	n.dirty = append(n.dirty, key)
-	return rep, nil
-}
-
-func (n *Node) handle(ev nodeEvent) {
-	switch ev.kind {
-	case evInbound:
-		if n.crashed {
-			return
-		}
-		key, inner, err := wire.UnpackEnvelope(ev.payload)
-		if err != nil {
-			// Malformed frame: drop, per the unreliable-network model, but
-			// keep it visible in Counters — a peer speaking a different
-			// wire format would otherwise be undiagnosable.
-			n.droppedFrames++
-			return
-		}
-		rep, err := n.replicaFor(key)
-		if err != nil {
-			// No agreed initial state for this key: drop, counted — a peer
-			// whose configuration accepts the key would otherwise hang
-			// against this node with no diagnostic trace here.
-			n.droppedFrames++
-			return
-		}
-		rep.Deliver(ev.from, inner)
-	case evUpdate:
-		if n.crashed {
-			ev.update.done <- updateResult{err: ErrUnavailable}
-			return
-		}
-		if n.cfg.BatchInterval > 0 {
-			n.batchUpdates[ev.key] = append(n.batchUpdates[ev.key], ev.update)
-			return
-		}
-		n.startUpdate(ev.key, []*updateOp{ev.update})
-	case evQuery:
-		if n.crashed {
-			ev.query.done <- queryResult{err: ErrUnavailable}
-			return
-		}
-		if n.cfg.BatchInterval > 0 {
-			n.batchQueries[ev.key] = append(n.batchQueries[ev.key], ev.query)
-			return
-		}
-		n.startQuery(ev.key, []*queryOp{ev.query})
-	case evTimeout:
-		if n.crashed {
-			return
-		}
-		if _, live := n.timers[ev.key][ev.reqID]; live {
-			if rep, ok := n.replicas[ev.key]; ok {
-				n.dirty = append(n.dirty, ev.key)
-				rep.Retransmit(ev.reqID)
-				n.armTimer(ev.key, ev.reqID)
-			}
-		}
-	case evFlush:
-		if !n.crashed {
-			n.flushBatches(ev.queries)
-		}
-		// The update and query batches alternate, each flushing every
-		// BatchInterval but offset by half a window. Flushing them at the
-		// same instant would make every batched query collide with its own
-		// node's MERGE broadcast and forfeit the fast path that batching
-		// exists to enable (§3.6).
-		if n.cfg.BatchInterval > 0 {
-			next := !ev.queries
-			n.flushTimer = n.cfg.Clock.AfterFunc(n.cfg.BatchInterval/2, func() {
-				n.post(nodeEvent{kind: evFlush, queries: next})
-			})
-		}
-	case evBudget:
-		n.drainBudget(ev.from)
-	case evSetCrashed:
-		n.crashed = ev.crash
-		if ev.crash {
-			n.failEverything()
-			n.dropBudgetQueues()
-		}
-		// Entering or leaving a crash invalidates every round lease this
-		// node holds: while it was down (or from the instant it stops
-		// serving), other proposers may move the quorum's rounds, and a
-		// resumed lease would skip the prepare that detects that. Dropping
-		// is purely conservative — the next quorum read re-earns it.
-		for _, rep := range n.replicas {
-			rep.DropLease()
-		}
-	case evRestart:
-		ev.restarted <- n.restart()
-	}
-}
-
-func (n *Node) startUpdate(key string, ops []*updateOp) {
-	rep, err := n.replicaFor(key)
-	if err != nil {
-		for _, op := range ops {
-			op.done <- updateResult{err: err}
-		}
-		return
-	}
-	combined := func(s crdt.State) (crdt.State, error) {
-		var err error
-		for _, op := range ops {
-			s, err = op.fu(s)
-			if err != nil {
-				return nil, err
-			}
-		}
-		return s, nil
-	}
-	// The completion is deferred to flushOutbox's notify phase: on a
-	// durable node the client must not observe success before the local
-	// snapshot covering the update has hit disk.
-	reqID, err := rep.SubmitUpdate(combined, func(stats core.UpdateStats, err error) {
-		n.notify = append(n.notify, keyedNotify{key: key, fn: func() {
-			for _, op := range ops {
-				op.done <- updateResult{stats: stats, err: err}
-			}
-		}})
-	})
-	if err != nil {
-		for _, op := range ops {
-			op.done <- updateResult{err: err}
-		}
-		return
-	}
-	if rep.Pending(reqID) {
-		n.armTimer(key, reqID)
-	}
-}
-
-func (n *Node) startQuery(key string, ops []*queryOp) {
-	rep, err := n.replicaFor(key)
-	if err != nil {
-		for _, op := range ops {
-			op.done <- queryResult{err: err}
-		}
-		return
-	}
-	reqID := rep.SubmitQuery(func(s crdt.State, stats core.QueryStats, err error) {
-		n.notify = append(n.notify, keyedNotify{key: key, fn: func() {
-			for _, op := range ops {
-				op.done <- queryResult{state: s, stats: stats, err: err}
-			}
-		}})
-	})
-	if rep.Pending(reqID) {
-		n.armTimer(key, reqID)
-	}
-}
-
-// flushBatches starts one protocol run per key holding buffered commands of
-// the given kind — keys batch independently, so a hot key's protocol run
-// does not serialize behind a cold key's.
-func (n *Node) flushBatches(queries bool) {
-	if queries {
-		for key, ops := range n.batchQueries {
-			delete(n.batchQueries, key)
-			n.startQuery(key, ops)
-		}
-		return
-	}
-	for key, ops := range n.batchUpdates {
-		delete(n.batchUpdates, key)
-		n.startUpdate(key, ops)
-	}
-}
-
-func (n *Node) armTimer(key string, reqID uint64) {
-	n.disarmTimer(key, reqID)
-	byReq, ok := n.timers[key]
-	if !ok {
-		byReq = make(map[uint64]clock.Timer)
-		n.timers[key] = byReq
-	}
-	byReq[reqID] = n.cfg.Clock.AfterFunc(n.cfg.RetransmitInterval, func() {
-		n.post(nodeEvent{kind: evTimeout, key: key, reqID: reqID})
-	})
-}
-
-func (n *Node) disarmTimer(key string, reqID uint64) {
-	if t, ok := n.timers[key][reqID]; ok {
-		t.Stop()
-		delete(n.timers[key], reqID)
-		if len(n.timers[key]) == 0 {
-			delete(n.timers, key)
-		}
-	}
-}
-
-// flushOutbox transmits pending envelopes of every replica touched by the
-// last event — wrapped in the key's object-ID envelope — and disarms timers
-// of requests that completed. Only dirty keys are visited, so per-event
-// cost is independent of the size of the keyspace.
-//
-// On a durable node the key's snapshot is written first, whenever its
-// durable state advanced: an ACK promising a round, a MERGED confirming a
-// merge, must never outrun the disk. A failed snapshot write drops the
-// key's outbound envelopes AND withholds the key's client completions
-// instead — to its peers and clients alike the node behaves like a lossy
-// link (the clients' requests time out and surface as uncertain), never
-// like a liar claiming durability the disk does not hold. Surviving
-// completions are released last, after the persistence point, so an
-// acknowledged command is durable here even on a single-node cluster.
-func (n *Node) flushOutbox() {
-	var persistFailed map[string]bool
-	for _, key := range n.dirty {
-		rep, ok := n.replicas[key]
-		if !ok {
-			continue
-		}
-		out := rep.TakeOutbox()
-		if n.store != nil && !n.crashed {
-			if v := rep.StateVersion(); v != n.savedVersion[key] {
-				if err := n.store.SaveSnapshot(key, rep.Snapshot()); err != nil {
-					n.persistErrs++
-					if persistFailed == nil {
-						persistFailed = make(map[string]bool, 1)
-					}
-					persistFailed[key] = true
-					out = nil
-				} else {
-					n.savedVersion[key] = v
-				}
-			}
-		}
-		for _, e := range out {
-			if n.crashed {
-				continue
-			}
-			packed := wire.PackEnvelope(key, e.Payload)
-			if n.cfg.LinkBudget > 0 {
-				n.sendBudgeted(e.To, key, packed)
-			} else {
-				n.conn.Send(e.To, packed)
-			}
-		}
-		for reqID := range n.timers[key] {
-			if !rep.Pending(reqID) {
-				n.disarmTimer(key, reqID)
-			}
-		}
-	}
-	n.dirty = n.dirty[:0]
-	if len(n.notify) > 0 {
-		for _, kn := range n.notify {
-			if !persistFailed[kn.key] {
-				kn.fn()
-			}
-		}
-		n.notify = n.notify[:0]
-	}
-}
-
-// failEverything aborts in-flight and batched requests upon crash; their
-// callers receive ErrAborted / ErrUnavailable.
-func (n *Node) failEverything() {
-	for key, byReq := range n.timers {
-		rep := n.replicas[key]
-		for reqID := range byReq {
-			n.disarmTimer(key, reqID)
-			if rep != nil {
-				rep.Abort(reqID)
-			}
-		}
-	}
-	for key, ops := range n.batchUpdates {
-		delete(n.batchUpdates, key)
-		for _, op := range ops {
-			op.done <- updateResult{err: ErrUnavailable}
-		}
-	}
-	for key, ops := range n.batchQueries {
-		delete(n.batchQueries, key)
-		for _, op := range ops {
-			op.done <- queryResult{err: ErrUnavailable}
-		}
-	}
-}
-
-func (n *Node) shutdown() {
-	if n.flushTimer != nil {
-		n.flushTimer.Stop()
-	}
-	for key, byReq := range n.timers {
-		for reqID, t := range byReq {
-			t.Stop()
-			delete(byReq, reqID)
-		}
-		delete(n.timers, key)
 	}
 }
 

@@ -1,0 +1,165 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"crdtsmr/internal/core"
+	"crdtsmr/internal/crdt"
+)
+
+func batchRecord(t *testing.T, key string, val uint64) Record {
+	t.Helper()
+	rec, err := FromSnapshot(key, core.Snapshot{
+		State:   crdt.NewGCounter().Inc("n1", val),
+		NextReq: val,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestSaveBatchRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []Record
+	for i := 0; i < 6; i++ {
+		recs = append(recs, batchRecord(t, fmt.Sprintf("key/%d", i), uint64(i+1)))
+	}
+	if err := st.SaveBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	got, skipped, err := st.LoadAll(RecoverStrict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 || len(got) != len(recs) {
+		t.Fatalf("loaded %d (skipped %d), want %d", len(got), skipped, len(recs))
+	}
+	for i, ks := range got {
+		if v := ks.Snap.State.(*crdt.GCounter).Value(); v != uint64(i+1) {
+			t.Fatalf("key %q = %d, want %d", ks.Key, v, i+1)
+		}
+	}
+	if err := st.SaveBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+}
+
+// TestSaveBatchOverwritesAndLastWins: batches replace prior snapshots
+// atomically, and a (caller-error) duplicate key inside one batch
+// resolves to the later record, matching rename order.
+func TestSaveBatchOverwritesAndLastWins(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveBatch([]Record{batchRecord(t, "k", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveBatch([]Record{batchRecord(t, "k", 2), batchRecord(t, "k", 7)}); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := st.LoadAll(RecoverStrict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Snap.State.(*crdt.GCounter).Value() != 7 {
+		t.Fatalf("after duplicate-key batch: %+v", got)
+	}
+}
+
+// TestSaveBatchTornByHookChangesNothing: a hook failure between
+// temp-write and rename (the modeled crash point) must leave every
+// committed snapshot byte-identical and no batch file visible — and the
+// temp files must not survive a reopen.
+func TestSaveBatchTornByHookChangesNothing(t *testing.T) {
+	dir := t.TempDir()
+	boom := errors.New("boom")
+	var sawKeys []string
+	st, err := Open(dir, Options{
+		BeforeBatchRename: func(keys []string) error {
+			sawKeys = append([]string(nil), keys...)
+			return boom
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A committed value for k0 predates the torn batch.
+	if err := st.Save(batchRecord(t, "k0", 42)); err != nil {
+		t.Fatal(err)
+	}
+	err = st.SaveBatch([]Record{batchRecord(t, "k0", 43), batchRecord(t, "k1", 9)})
+	if !errors.Is(err, boom) {
+		t.Fatalf("torn batch err = %v, want the hook's error", err)
+	}
+	if len(sawKeys) != 2 {
+		t.Fatalf("hook saw keys %v, want both batch keys", sawKeys)
+	}
+	got, _, err := st.LoadAll(RecoverStrict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Key != "k0" || got[0].Snap.State.(*crdt.GCounter).Value() != 42 {
+		t.Fatalf("after torn batch: %+v (want only k0=42)", got)
+	}
+	// The tear already removed its temps; even if a real crash had left
+	// them, reopening sweeps them.
+	if _, err := Open(dir, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), tmpPrefix) {
+			t.Fatalf("temp file %q survived the torn batch + reopen", e.Name())
+		}
+	}
+}
+
+// TestSaveBatchChargesWriteDelayOnce is the group-commit accounting
+// test: N records in one batch pay the emulated device flush once,
+// where N serial Saves pay it N times. The margins are wide (4× under
+// the serial floor) so scheduler noise cannot flake it.
+func TestSaveBatchChargesWriteDelayOnce(t *testing.T) {
+	const delay = 20 * time.Millisecond
+	const n = 8
+	st, err := Open(t.TempDir(), Options{WriteDelay: delay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []Record
+	for i := 0; i < n; i++ {
+		recs = append(recs, batchRecord(t, fmt.Sprintf("k/%d", i), 1))
+	}
+	start := time.Now()
+	if err := st.SaveBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	batchTime := time.Since(start)
+
+	start = time.Now()
+	for _, rec := range recs {
+		if err := st.Save(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	serialTime := time.Since(start)
+
+	if serialTime < n*delay {
+		t.Fatalf("serial saves took %v, must pay ≥ %v (one delay per save)", serialTime, n*delay)
+	}
+	if batchTime >= serialTime/4 {
+		t.Fatalf("batch took %v vs serial %v; the batch must charge the delay once", batchTime, serialTime)
+	}
+}

@@ -12,4 +12,12 @@
 // never a torn mix. A SHA-256 trailer over the full contents rejects
 // every other corruption (truncation, bit rot, partial page writes) with
 // an error matching ErrCorrupt.
+//
+// SaveBatch is the group-commit entry point used by the cluster's
+// per-shard persister goroutines: many keys' records written and renamed
+// together, then one directory sync for the lot, so a batch costs about
+// one device barrier instead of one per key. Options.WriteDelay emulates
+// a per-write device flush deterministically for benchmarks; when set
+// alongside SyncAlways it stands in for the physical fsync barriers (see
+// the Options docs).
 package persist

@@ -10,6 +10,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"crdtsmr/internal/core"
 	"crdtsmr/internal/crdt"
@@ -195,7 +197,9 @@ const (
 	SyncNone SyncPolicy = iota
 	// SyncAlways additionally fsyncs the snapshot file and its directory
 	// on every save, surviving power loss at the cost of one or two disk
-	// flushes per durable transition.
+	// flushes per durable transition. With an emulated device
+	// (Options.WriteDelay > 0) the deterministic emulated flush stands in
+	// for the physical barriers — see Options.WriteDelay.
 	SyncAlways
 )
 
@@ -228,11 +232,37 @@ func ParseRecoverPolicy(s string) (RecoverPolicy, error) {
 // Options configure a Store.
 type Options struct {
 	Sync SyncPolicy
+	// WriteDelay, when positive, emulates device flush latency: Save
+	// sleeps it once per call and SaveBatch once per batch, at the point
+	// where a real device would serve the flush. Benchmarks and tests use
+	// it to make the group-commit advantage measurable independently of
+	// the host's actual disk (and CPU count): N keys saved one batch pay
+	// the delay once, saved serially they pay it N times.
+	//
+	// When WriteDelay is set alongside SyncAlways, the emulated flush
+	// STANDS IN for the physical barriers — no fsync syscalls are issued.
+	// This is the same substitution the transport makes for the network
+	// (an emulated delay instead of a real NIC): the durability pipeline
+	// keeps its exact structure and ordering, but the flush cost becomes
+	// deterministic instead of whatever the host filesystem's journal
+	// happens to serialize to under contention. Production stores leave
+	// WriteDelay zero and get real fsyncs.
+	WriteDelay time.Duration
+	// BeforeBatchRename, when set, runs after a SaveBatch's temp files
+	// are all written (and synced, under SyncAlways) but before any of
+	// them is renamed into place — the injection point for modeling a
+	// crash that tears a whole group-commit batch. An error fails the
+	// batch: the temps are removed and no key's snapshot changes.
+	BeforeBatchRename func(keys []string) error
 }
 
 // Store manages one replica's snapshot directory: one file per object
-// key, each rewritten atomically. Store methods are not safe for
-// concurrent use; the node event loop is the single writer.
+// key, each rewritten atomically. Save and SaveBatch are safe for
+// concurrent use by writers of DISJOINT key sets (each shard's persister
+// owns its shard's keys): temp files are unique per call and renames
+// target distinct paths. Two concurrent writers of the same key, or a
+// LoadAll concurrent with any writer, are not coordinated — callers
+// quiesce writers before loading (cluster.Node.Restart does).
 type Store struct {
 	dir  string
 	opts Options
@@ -309,7 +339,7 @@ func (s *Store) Save(rec Record) error {
 	if _, err := f.Write(data); err != nil {
 		return fail(err)
 	}
-	if s.opts.Sync == SyncAlways {
+	if s.realSync() {
 		if err := f.Sync(); err != nil {
 			return fail(err)
 		}
@@ -322,13 +352,132 @@ func (s *Store) Save(rec Record) error {
 	if err := f.Close(); err != nil {
 		return fail(err)
 	}
+	s.emulateFlush()
 	if err := os.Rename(tmp, s.Path(rec.Key)); err != nil {
 		_ = os.Remove(tmp)
 		return fmt.Errorf("persist: save %q: %w", rec.Key, err)
 	}
-	if s.opts.Sync == SyncAlways {
+	if s.realSync() {
 		if err := syncDir(s.dir); err != nil {
 			return fmt.Errorf("persist: save %q: %w", rec.Key, err)
+		}
+	}
+	return nil
+}
+
+// emulateFlush charges Options.WriteDelay, the emulated device flush.
+func (s *Store) emulateFlush() {
+	if s.opts.WriteDelay > 0 {
+		time.Sleep(s.opts.WriteDelay)
+	}
+}
+
+// realSync reports whether saves issue physical fsync barriers: yes
+// under SyncAlways with a real device, no when an emulated device
+// (WriteDelay > 0) substitutes its deterministic flush.
+func (s *Store) realSync() bool {
+	return s.opts.Sync == SyncAlways && s.opts.WriteDelay == 0
+}
+
+// SaveBatch atomically replaces many keys' snapshot files as one group
+// commit, paying the expensive per-commit costs roughly once for the
+// whole batch: every record is written to its own temp file, the temps
+// are fsynced concurrently under SyncAlways (the kernel overlaps the
+// device barriers, so the batch waits about one flush, not N), then
+// every temp is renamed into place and ONE directory sync covers all
+// the renames — versus one serial fsync plus one directory sync per key
+// with serial Saves. The emulated flush (Options.WriteDelay) is
+// likewise charged once per batch.
+//
+// Failure granularity is the whole batch: on any error every temp file
+// is removed and no key's committed snapshot changes (renames only start
+// after every write succeeded, and a rename failure aborts before the
+// directory sync that would publish the batch across a power loss), so
+// the caller treats all the batch's keys as not-yet-durable. Keys
+// outside the batch are untouched either way.
+func (s *Store) SaveBatch(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	tmps := make([]string, 0, len(recs))
+	files := make([]*os.File, 0, len(recs))
+	cleanup := func() {
+		for _, f := range files {
+			_ = f.Close()
+		}
+		for _, tmp := range tmps {
+			_ = os.Remove(tmp)
+		}
+	}
+	for i := range recs {
+		data := EncodeRecord(recs[i])
+		f, err := os.CreateTemp(s.dir, tmpPrefix)
+		if err != nil {
+			cleanup()
+			return fmt.Errorf("persist: save batch (%q): %w", recs[i].Key, err)
+		}
+		tmps = append(tmps, f.Name())
+		files = append(files, f)
+		if _, err := f.Write(data); err != nil {
+			cleanup()
+			return fmt.Errorf("persist: save batch (%q): %w", recs[i].Key, err)
+		}
+	}
+	// All writes landed; make them durable before any rename publishes
+	// them. The fsyncs run concurrently: they have no ordering constraint
+	// among themselves (only completion-before-rename matters), and
+	// issuing them together is what lets a batch of N keys cost ~one
+	// device barrier — the core of the group-commit win.
+	if s.realSync() {
+		syncErrs := make([]error, len(files))
+		var wg sync.WaitGroup
+		for i, f := range files {
+			wg.Add(1)
+			go func(i int, f *os.File) {
+				defer wg.Done()
+				syncErrs[i] = f.Sync()
+			}(i, f)
+		}
+		wg.Wait()
+		for i, err := range syncErrs {
+			if err != nil {
+				cleanup()
+				return fmt.Errorf("persist: save batch (%q): %w", recs[i].Key, err)
+			}
+		}
+	}
+	for i, f := range files {
+		if err := f.Close(); err != nil {
+			files = files[i+1:] // earlier files are closed; clean the rest
+			cleanup()
+			return fmt.Errorf("persist: save batch (%q): %w", recs[i].Key, err)
+		}
+	}
+	files = nil
+	if s.opts.BeforeBatchRename != nil {
+		keys := make([]string, len(recs))
+		for i := range recs {
+			keys[i] = recs[i].Key
+		}
+		if err := s.opts.BeforeBatchRename(keys); err != nil {
+			cleanup()
+			return fmt.Errorf("persist: save batch: %w", err)
+		}
+	}
+	s.emulateFlush()
+	for i := range recs {
+		if err := os.Rename(tmps[i], s.Path(recs[i].Key)); err != nil {
+			// Already-renamed keys hold their NEW snapshot — that is safe
+			// (their state was fully written) but the caller must still
+			// treat the whole batch as failed, and does: it simply
+			// re-saves those keys on their next event.
+			cleanup()
+			return fmt.Errorf("persist: save batch (%q): %w", recs[i].Key, err)
+		}
+	}
+	if s.realSync() {
+		if err := syncDir(s.dir); err != nil {
+			return fmt.Errorf("persist: save batch: %w", err)
 		}
 	}
 	return nil
