@@ -42,12 +42,16 @@ var errInFlight = errors.New("client: context done with request in flight")
 // Client is a pooled, pipelining client for one cluster. It is safe for
 // concurrent use; typed handles share the client's pool. Create one with
 // New and release it with Close.
+//
+// The endpoint set is dynamic: SetAddrs (or RefreshMembers, which asks
+// the cluster) reconciles the pools against a new address list, so a
+// long-lived client follows the cluster through reconfigurations.
 type Client struct {
-	cfg   config
-	pools []*pool
-	next  atomic.Uint64 // round-robin address cursor
+	cfg  config
+	next atomic.Uint64 // round-robin address cursor
 
 	mu     sync.Mutex
+	pools  []*pool
 	closed bool
 }
 
@@ -79,11 +83,80 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closed = true
+	pools := c.pools
 	c.mu.Unlock()
-	for _, p := range c.pools {
+	for _, p := range pools {
 		p.close()
 	}
 	return nil
+}
+
+// Addrs returns the current endpoint addresses, in pool order.
+func (c *Client) Addrs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.pools))
+	for i, p := range c.pools {
+		out[i] = p.addr
+	}
+	return out
+}
+
+// SetAddrs reconciles the endpoint set against addrs: pools for retained
+// addresses keep their connections, new addresses get fresh (lazily
+// dialed) pools, and pools for removed addresses are closed — their
+// connections are torn down, never leaked, and operations holding one
+// fail over to a surviving endpoint. Duplicate addresses collapse to
+// one pool.
+func (c *Client) SetAddrs(addrs []string) error {
+	if len(addrs) == 0 {
+		return errors.New("client: no server addresses")
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	keep := make(map[string]*pool, len(c.pools))
+	for _, p := range c.pools {
+		keep[p.addr] = p
+	}
+	var next []*pool
+	seen := make(map[string]bool, len(addrs))
+	var removed []*pool
+	for _, addr := range addrs {
+		if seen[addr] {
+			continue
+		}
+		seen[addr] = true
+		if p, ok := keep[addr]; ok {
+			next = append(next, p)
+			delete(keep, addr)
+		} else {
+			next = append(next, newPool(addr, c.cfg))
+		}
+	}
+	for _, p := range keep {
+		removed = append(removed, p)
+	}
+	c.pools = next
+	c.mu.Unlock()
+	for _, p := range removed {
+		p.close()
+	}
+	return nil
+}
+
+// snapshotPools returns the current pool list, or ErrClosed after Close.
+// The slice is immutable once returned (SetAddrs replaces, never
+// mutates), so callers may index it without the lock.
+func (c *Client) snapshotPools() ([]*pool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	return c.pools, nil
 }
 
 // ctxErr classifies a context failure: deadline expiry additionally
@@ -104,12 +177,9 @@ func ctxErr(ctx context.Context, lastErr error) error {
 // failures that leave the operation's fate unknown (safe for reads and
 // admin commands, not for updates).
 func (c *Client) do(ctx context.Context, req *wire.Request, retryInFlight bool) (*wire.Response, error) {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil, ErrClosed
+	if _, err := c.snapshotPools(); err != nil {
+		return nil, err
 	}
-	c.mu.Unlock()
 
 	if _, ok := ctx.Deadline(); !ok && c.cfg.requestTimeout > 0 {
 		var cancel context.CancelFunc
@@ -117,9 +187,12 @@ func (c *Client) do(ctx context.Context, req *wire.Request, retryInFlight bool) 
 		defer cancel()
 	}
 
-	// Reduce the cursor modulo the pool count while still in uint64, so
-	// the int conversion can never go negative (32-bit platforms).
-	start := int(c.next.Add(1) % uint64(len(c.pools)))
+	// The cursor spreads operations across addresses; each attempt
+	// re-snapshots the pool list so a concurrent SetAddrs takes effect
+	// mid-retry (failing over onto endpoints that still exist). Reduce the
+	// cursor modulo the pool count while still in uint64, so the int
+	// conversion can never go negative (32-bit platforms).
+	start := c.next.Add(1)
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.retry.MaxAttempts; attempt++ {
 		if attempt > 0 {
@@ -132,13 +205,24 @@ func (c *Client) do(ctx context.Context, req *wire.Request, retryInFlight bool) 
 				return nil, ctxErr(ctx, lastErr)
 			}
 		}
-		p := c.pools[(start+attempt)%len(c.pools)]
+		pools, err := c.snapshotPools()
+		if err != nil {
+			return nil, err
+		}
+		p := pools[int((start+uint64(attempt))%uint64(len(pools)))]
 		cn, err := p.get(ctx)
 		if err != nil {
 			if errors.Is(err, ErrClosed) {
-				// Racing Client.Close: every further attempt is doomed, so
-				// fail now instead of burning the retry budget on backoff.
-				return nil, err
+				if _, serr := c.snapshotPools(); serr != nil {
+					// Racing Client.Close: every further attempt is doomed,
+					// so fail now instead of burning the retry budget.
+					return nil, serr
+				}
+				// The pool was closed because SetAddrs removed its endpoint
+				// (stale member list), not because the client shut down.
+				// Nothing was sent; retry on a current endpoint.
+				lastErr = fmt.Errorf("%w: endpoint %s removed", ErrUnavailable, p.addr)
+				continue
 			}
 			if ctx.Err() != nil {
 				return nil, ctxErr(ctx, err)

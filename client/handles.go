@@ -11,6 +11,7 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"strings"
 
 	"crdtsmr/internal/core"
 	"crdtsmr/internal/crdt"
@@ -111,6 +112,119 @@ func (c *Client) Keys(ctx context.Context) ([]string, error) {
 		return nil, fmt.Errorf("client: decode keys: %w", err)
 	}
 	return keys, nil
+}
+
+// Member is one replica of the cluster's current configuration, as
+// reported by the members admin command. Addr is the member's
+// client-facing address, or "" when the answering server's registry has
+// none for it.
+type Member struct {
+	ID   string
+	Addr string
+}
+
+// decodeMembers parses a membership admin payload: epoch, then each
+// member's ID and client address.
+func decodeMembers(payload []byte) (uint64, []Member, error) {
+	r := wire.NewReader(payload)
+	epoch := r.Uvarint()
+	n := r.Uvarint()
+	capHint := n
+	if max := uint64(len(payload)); capHint > max {
+		capHint = max
+	}
+	members := make([]Member, 0, capHint)
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		members = append(members, Member{ID: r.Str(), Addr: r.Str()})
+	}
+	if err := r.Err(); err != nil {
+		return 0, nil, fmt.Errorf("client: decode members: %w", err)
+	}
+	return epoch, members, nil
+}
+
+// Members returns the configuration epoch and member list of the
+// answering replica's cluster.
+func (c *Client) Members(ctx context.Context) (uint64, []Member, error) {
+	resp, err := c.do(ctx, &wire.Request{Op: wire.OpAdmin, Cmd: "members"}, true)
+	if err != nil {
+		return 0, nil, err
+	}
+	return decodeMembers(resp.Payload)
+}
+
+// RefreshMembers asks the cluster for its current member list and
+// reconciles the client's endpoint set against the advertised client
+// addresses (SetAddrs): pools for removed members close, new members'
+// pools dial lazily. Members without an advertised address are skipped;
+// if no member advertises one, the endpoint set is left unchanged and an
+// error is returned. Call it after a reconfiguration — or periodically —
+// so a long-lived client never dials retired replicas forever.
+func (c *Client) RefreshMembers(ctx context.Context) ([]Member, error) {
+	_, members, err := c.Members(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var addrs []string
+	for _, m := range members {
+		if m.Addr != "" {
+			addrs = append(addrs, m.Addr)
+		}
+	}
+	if len(addrs) == 0 {
+		return members, fmt.Errorf("client: no member advertises a client address; endpoint set unchanged")
+	}
+	if err := c.SetAddrs(addrs); err != nil {
+		return members, err
+	}
+	return members, nil
+}
+
+// MemberAdd proposes adding replica id to the cluster's member set, via
+// whichever current member answers. meshAddr, when non-empty, is the
+// joiner's replica-mesh address, registered with the answering server's
+// transport before the reconfiguration (required when the transport did
+// not know the joiner at boot); clientAddr, when non-empty, is recorded
+// in the server's member registry so later RefreshMembers calls learn
+// it. Returns the committed epoch and member list.
+//
+// The reconfiguration is an update, not a read: if the call fails with
+// ErrUncertain the new configuration may or may not have committed —
+// inspect Members before retrying.
+func (c *Client) MemberAdd(ctx context.Context, id, meshAddr, clientAddr string) (uint64, []Member, error) {
+	if id == "" || len(strings.Fields(id)) != 1 {
+		return 0, nil, fmt.Errorf("client: bad member ID %q", id)
+	}
+	cmd := "member-add " + id
+	if clientAddr != "" && meshAddr == "" {
+		meshAddr = "-" // positional placeholder: "no mesh address"
+	}
+	if meshAddr != "" {
+		cmd += " " + meshAddr
+	}
+	if clientAddr != "" {
+		cmd += " " + clientAddr
+	}
+	resp, err := c.do(ctx, &wire.Request{Op: wire.OpAdmin, Cmd: cmd}, false)
+	if err != nil {
+		return 0, nil, err
+	}
+	return decodeMembers(resp.Payload)
+}
+
+// MemberRemove proposes removing replica id from the cluster's member
+// set. Like MemberAdd it is an update; an ErrUncertain failure leaves
+// the outcome unknown. The removed replica keeps running — it just
+// serves no quorums and refuses commands — until the operator stops it.
+func (c *Client) MemberRemove(ctx context.Context, id string) (uint64, []Member, error) {
+	if id == "" || len(strings.Fields(id)) != 1 {
+		return 0, nil, fmt.Errorf("client: bad member ID %q", id)
+	}
+	resp, err := c.do(ctx, &wire.Request{Op: wire.OpAdmin, Cmd: "member-remove " + id}, false)
+	if err != nil {
+		return 0, nil, err
+	}
+	return decodeMembers(resp.Payload)
 }
 
 // Counter returns a typed handle on the G-Counter stored under key.

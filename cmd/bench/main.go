@@ -21,7 +21,9 @@
 // measures the durable store's update throughput as persistence moves
 // from the seed's serial one-Save-per-event loop to the asynchronous
 // group-commit pipeline across event-loop shard counts, under an
-// emulated per-write device flush.
+// emulated per-write device flush, and -figure members runs a timeline
+// across an online membership change (grow by a joiner, then remove a
+// boot member mid-workload) with built-in stall and shed guards.
 //
 // The default scale finishes in minutes; raise -duration and -clients to
 // approach the paper's 10-minute, 4096-client runs.
@@ -60,7 +62,7 @@ func main() {
 
 func run() error {
 	var (
-		figure   = flag.String("figure", "all", "figure to regenerate: 1, 2, 3, 4, keys, clients, bytes, lease, protocols, overload, shards, or all")
+		figure   = flag.String("figure", "all", "figure to regenerate: 1, 2, 3, 4, keys, clients, bytes, lease, protocols, overload, shards, members, or all")
 		duration = flag.Duration("duration", 2*time.Second, "measurement duration per data point (paper: 10m)")
 		warmup   = flag.Duration("warmup", 300*time.Millisecond, "warm-up excluded from statistics")
 		clients  = flag.String("clients", "1,8,64,256", "comma-separated client sweep (paper: 1..4096)")
@@ -156,13 +158,19 @@ func run() error {
 				return err
 			}
 			return saveFig(fig)
+		case "members":
+			fig, err := bench.FigureMembers(out, scale, 64)
+			if err != nil {
+				return err
+			}
+			return saveFig(fig)
 		default:
 			return fmt.Errorf("unknown figure %q", fig)
 		}
 	}
 
 	if *figure == "all" {
-		for _, fig := range []string{"1", "2", "3", "4", "keys", "clients", "bytes", "lease", "protocols", "overload", "shards"} {
+		for _, fig := range []string{"1", "2", "3", "4", "keys", "clients", "bytes", "lease", "protocols", "overload", "shards", "members"} {
 			if err := runOne(fig); err != nil {
 				return err
 			}

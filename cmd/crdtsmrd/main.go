@@ -60,7 +60,8 @@ func main() {
 	switch cmd := os.Args[1]; cmd {
 	case "serve":
 		err = serve(os.Args[2:])
-	case "inc", "dec", "get", "add", "remove", "set", "ping", "keys":
+	case "inc", "dec", "get", "add", "remove", "set", "ping", "keys",
+		"members", "member-add", "member-remove":
 		err = clientOp(cmd, os.Args[2:])
 	default:
 		usage()
@@ -85,7 +86,17 @@ client (all take -addrs, a comma-separated server list):
   remove   remove from an or-set/ key     (-key, -elem)
   set      write an lww-register/ key     (-key, -value)
   ping     round-trip a frame
-  keys     list keys on the answering replica`)
+  keys     list keys on the answering replica
+
+membership (online reconfiguration; see docs/PROTOCOL.md §6):
+  members        print the configuration epoch and member list
+  member-add     add a replica          (-member, -mesh, -client-addr)
+  member-remove  remove a replica       (-member)
+
+To grow a cluster: start the joiner with 'serve -join' (it comes up
+refusing commands), then 'member-add' against any current member with
+the joiner's mesh and client addresses. The joint-quorum commit
+bootstraps the joiner's state; it serves once the new epoch reaches it.`)
 	os.Exit(2)
 }
 
@@ -106,6 +117,7 @@ func serve(args []string) error {
 	maxConns := fs.Int("max-conns", 0, "client connection cap; further connections get one busy frame and a close (0: default 1024)")
 	maxInflight := fs.Int("max-inflight", 0, "server-wide executing-request cap; excess is answered busy instead of queued (0: default 4096)")
 	linkBudget := fs.Int("link-budget", 0, "per-peer replica-link byte budget in bytes/sec, delaying and coalescing MERGE traffic over it (0 disables)")
+	join := fs.Bool("join", false, "start as a joiner: empty member set, refuses commands until an existing member reconfigures it in with member-add (-peers then lists the current members, for the mesh)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -139,16 +151,18 @@ func serve(args []string) error {
 		peers[transport.NodeID(kv[0])] = kv[1]
 		members = append(members, transport.NodeID(kv[0]))
 	}
-	if _, ok := peers[transport.NodeID(*id)]; !ok {
-		return fmt.Errorf("-id %q does not appear in -peers", *id)
+	if _, ok := peers[transport.NodeID(*id)]; !ok && !*join {
+		return fmt.Errorf("-id %q does not appear in -peers (use -join to start outside the member set)", *id)
 	}
 
 	opts := core.DefaultOptions()
 	opts.Lease = *lease
 
 	var tcpErr error
+	var mesh *transport.TCP
 	node, err := cluster.NewNode(transport.NodeID(*id), cluster.Config{
 		Members:       members,
+		Joining:       *join,
 		Initial:       initial,
 		InitialForKey: server.TypedKeyInitial(*payload),
 		Options:       opts,
@@ -171,6 +185,7 @@ func serve(args []string) error {
 			tcpErr = err
 			return nopConn(nid)
 		}
+		mesh = t
 		return t
 	})
 	if tcpErr != nil {
@@ -188,9 +203,30 @@ func serve(args []string) error {
 			return err
 		}
 	}
+	// Advertise each member's client address for the members admin
+	// command: every -peers entry is assumed to follow the mesh-port+1000
+	// convention (member-add can register explicit addresses later), and
+	// this replica's own entry uses the actual -client-listen address.
+	memberAddrs := map[string]string{string(transport.NodeID(*id)): clientAddr}
+	for p, a := range peers {
+		if string(p) == *id {
+			continue
+		}
+		if ca, err := plusThousand(a); err == nil {
+			memberAddrs[string(p)] = ca
+		}
+	}
 	srv, err := server.Start(node, clientAddr, server.Options{
 		MaxConns:         *maxConns,
 		MaxTotalInFlight: *maxInflight,
+		MemberAddrs:      memberAddrs,
+		RegisterPeer: func(pid, addr string) error {
+			if mesh == nil {
+				return fmt.Errorf("replica mesh transport is not running")
+			}
+			mesh.AddPeer(transport.NodeID(pid), addr)
+			return nil
+		},
 	})
 	if err != nil {
 		return err
@@ -228,6 +264,9 @@ func clientOp(op string, args []string) error {
 	n := fs.Uint64("n", 1, "amount (inc, dec)")
 	elem := fs.String("elem", "", "set element (add, remove)")
 	value := fs.String("value", "", "register value (set)")
+	member := fs.String("member", "", "replica ID (member-add, member-remove)")
+	meshAddr := fs.String("mesh", "", "joiner's replica-mesh address (member-add)")
+	clientAddr := fs.String("client-addr", "", "joiner's client address, advertised to members queries (member-add)")
 	timeout := fs.Duration("timeout", 10*time.Second, "operation deadline")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -235,9 +274,16 @@ func clientOp(op string, args []string) error {
 	if *addrs == "" {
 		return fmt.Errorf("%s requires -addrs", op)
 	}
-	needsKey := op != "ping" && op != "keys"
-	if needsKey && *key == "" {
-		return fmt.Errorf("%s requires -key", op)
+	switch op {
+	case "ping", "keys", "members":
+	case "member-add", "member-remove":
+		if *member == "" {
+			return fmt.Errorf("%s requires -member", op)
+		}
+	default:
+		if *key == "" {
+			return fmt.Errorf("%s requires -key", op)
+		}
 	}
 
 	c, err := client.New(strings.Split(*addrs, ","))
@@ -304,8 +350,37 @@ func clientOp(op string, args []string) error {
 			}
 			fmt.Println(k)
 		}
+	case "members":
+		epoch, members, err := c.Members(ctx)
+		if err != nil {
+			return err
+		}
+		printMembers(epoch, members)
+	case "member-add":
+		epoch, members, err := c.MemberAdd(ctx, *member, *meshAddr, *clientAddr)
+		if err != nil {
+			return err
+		}
+		printMembers(epoch, members)
+	case "member-remove":
+		epoch, members, err := c.MemberRemove(ctx, *member)
+		if err != nil {
+			return err
+		}
+		printMembers(epoch, members)
 	}
 	return nil
+}
+
+func printMembers(epoch uint64, members []client.Member) {
+	fmt.Printf("epoch %d, %d member(s):\n", epoch, len(members))
+	for _, m := range members {
+		addr := m.Addr
+		if addr == "" {
+			addr = "(no advertised client address)"
+		}
+		fmt.Printf("  %s\t%s\n", m.ID, addr)
+	}
 }
 
 // plusThousand derives the default client-facing port: mesh port + 1000.

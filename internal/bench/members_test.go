@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFigureMembersNoStall is the CI guard behind `bench -figure members`:
+// at a tiny scale the online grow/shrink timeline must produce a figure at
+// all (both reconfigurations commit) with the built-in stall and shed
+// guards passing, and the record must carry the series and commit
+// latencies downstream tooling reads.
+func TestFigureMembersNoStall(t *testing.T) {
+	s := DefaultScale()
+	s.Duration = 500 * time.Millisecond
+	s.Warmup = 100 * time.Millisecond
+	var buf bytes.Buffer
+	fig, err := FigureMembers(&buf, s, 12)
+	if err != nil {
+		t.Fatalf("members figure: %v\n%s", err, buf.String())
+	}
+	for _, name := range []string{"ops", "read_p95", "update_p95"} {
+		series := fig.SeriesNamed(name)
+		if series == nil || len(series.Y) == 0 {
+			t.Fatalf("figure record missing series %q", name)
+		}
+	}
+	for _, p := range []string{"grow_commit_ms", "shrink_commit_ms"} {
+		v, ok := fig.Params[p].(float64)
+		if !ok || v <= 0 {
+			t.Fatalf("figure param %s = %v, want a positive duration", p, fig.Params[p])
+		}
+	}
+	out := buf.String()
+	if !strings.Contains(out, "member-add m1") || !strings.Contains(out, "member-remove n1") {
+		t.Fatalf("timeline table missing reconfiguration markers:\n%s", out)
+	}
+}

@@ -76,6 +76,7 @@ type CRDTSystem struct {
 	mesh  *transport.Mesh
 	clust *cluster.Cluster
 	ids   []transport.NodeID
+	cfg   cluster.Config // kept for starting joiners (FigureMembers)
 }
 
 // NewCRDTSystem starts the paper's protocol over n replicas. batch enables
@@ -93,7 +94,7 @@ func NewCRDTSystemOpts(n int, batch time.Duration, net NetProfile, opts core.Opt
 	}
 	mesh := net.mesh()
 	ids := members(n)
-	clust, err := cluster.New(mesh, cluster.Config{
+	cfg := cluster.Config{
 		Members:       ids,
 		Initial:       crdt.NewGCounter(),
 		Options:       opts,
@@ -102,12 +103,13 @@ func NewCRDTSystemOpts(n int, batch time.Duration, net NetProfile, opts core.Opt
 		// crashed acceptor leaves a denied vote undecidable (Figure 4);
 		// keep it a small multiple of the protocol round trip.
 		RetransmitInterval: 10 * time.Millisecond,
-	})
+	}
+	clust, err := cluster.New(mesh, cfg)
 	if err != nil {
 		mesh.Close()
 		return nil, err
 	}
-	return &CRDTSystem{name: name, mesh: mesh, clust: clust, ids: ids}, nil
+	return &CRDTSystem{name: name, mesh: mesh, clust: clust, ids: ids, cfg: cfg}, nil
 }
 
 // Name implements System.
@@ -134,6 +136,42 @@ type pinnedSystem struct {
 
 // Client implements System: every client index maps to the pinned replica.
 func (p *pinnedSystem) Client(int) Client { return p.CRDTSystem.Client(p.replica) }
+
+// Grow starts a fresh joiner on the mesh and reconfigures it into the
+// member group from an existing member, returning once the round commits
+// under the joint quorum. The joiner's state bootstrap is the
+// reconfiguration push itself (FigureMembers).
+func (s *CRDTSystem) Grow(ctx context.Context, id transport.NodeID) error {
+	if _, err := s.clust.AddNode(id, s.cfg); err != nil {
+		return err
+	}
+	proposer := s.clust.Node(s.ids[0])
+	return proposer.Reconfigure(ctx, append(proposer.Members(), id))
+}
+
+// Shrink reconfigures the given member out of the group, proposing from a
+// surviving boot member. The removed node keeps running and refusing
+// commands — clients bound to it fail over, which is the behaviour the
+// members figure measures.
+func (s *CRDTSystem) Shrink(ctx context.Context, id transport.NodeID) error {
+	var proposer *cluster.Node
+	for _, nid := range s.ids {
+		if nid != id {
+			proposer = s.clust.Node(nid)
+			break
+		}
+	}
+	if proposer == nil {
+		return fmt.Errorf("bench: no surviving proposer to remove %s", id)
+	}
+	var target []transport.NodeID
+	for _, m := range proposer.Members() {
+		if m != id {
+			target = append(target, m)
+		}
+	}
+	return proposer.Reconfigure(ctx, target)
+}
 
 // Counters sums the protocol counters across all replicas.
 func (s *CRDTSystem) Counters() core.Counters {

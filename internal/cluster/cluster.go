@@ -44,6 +44,52 @@ func New(mesh *transport.Mesh, cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
+// AddNode starts a new node on the cluster's mesh as a joiner: it comes
+// up with an empty member set, refuses client commands, and serves no
+// quorums until an existing member reconfigures it in with
+// Node.Reconfigure — which also bootstraps its per-key state from the
+// configuration pushes. cfg is the node's configuration (typically the
+// same one the cluster was created with); its Members field is ignored
+// for the protocol and Joining is forced on. With a DataDir set the
+// joiner persists into its own subdirectory like every other node.
+func (c *Cluster) AddNode(id transport.NodeID, cfg Config) (*Node, error) {
+	if _, ok := c.nodes[id]; ok {
+		return nil, fmt.Errorf("cluster: node %s already exists", id)
+	}
+	cfg.Joining = true
+	if cfg.DataDir != "" {
+		cfg.DataDir = filepath.Join(cfg.DataDir, string(id))
+	}
+	n, err := NewNode(id, cfg, func(id transport.NodeID, h transport.Handler) transport.Conn {
+		return c.mesh.Join(id, h)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: add %s: %w", id, err)
+	}
+	c.nodes[id] = n
+	c.order = append(c.order, id)
+	return n, nil
+}
+
+// RemoveNode stops the named node and detaches it from the mesh. The
+// caller is expected to have reconfigured it out of the member set first
+// (Node.Reconfigure on a survivor); removing a current member is a crash,
+// which the protocol tolerates but the operator presumably did not mean.
+func (c *Cluster) RemoveNode(id transport.NodeID) error {
+	n := c.nodes[id]
+	if n == nil {
+		return fmt.Errorf("cluster: remove of unknown node %s", id)
+	}
+	delete(c.nodes, id)
+	for i, oid := range c.order {
+		if oid == id {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	return n.Close()
+}
+
 // Node returns the node with the given ID, or nil.
 func (c *Cluster) Node(id transport.NodeID) *Node { return c.nodes[id] }
 

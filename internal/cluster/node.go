@@ -32,8 +32,20 @@ const DefaultKey = ""
 
 // Config configures every node of a cluster.
 type Config struct {
-	// Members lists the full replica group.
+	// Members lists the replica group at boot. It seeds the node's
+	// configuration view (epoch 0); reconfiguration supersedes it at
+	// runtime (Node.Reconfigure, docs/ARCHITECTURE.md "Reconfiguration
+	// lifecycle"), so after the first committed epoch the live member set
+	// is Node.Members, not this field.
 	Members []transport.NodeID
+	// Joining starts the node as a joiner: its replicas begin with an
+	// empty member set, refuse client commands (core.ErrNotMember → the
+	// runtime's unavailable path), and serve no quorums until an existing
+	// member reconfigures them in — at which point the configuration push
+	// carries the full payload, bootstrapping the joiner's state in the
+	// same message. Members is ignored for the protocol when Joining is
+	// set (the transport still needs the node reachable by its ID).
+	Joining bool
 	// Initial is the initial CRDT payload s0 of the default object,
 	// identical on all replicas.
 	Initial crdt.State
@@ -188,6 +200,30 @@ type Node struct {
 
 	store *persist.Store // nil when cfg.DataDir is empty
 
+	// The node's configuration view: the greatest membership configuration
+	// any of its replicas has adopted. Configuration is a per-key fact in
+	// the protocol (each key's replica group reconfigures through its own
+	// joint-quorum round); the node view exists so replicas instantiated
+	// AFTER a reconfiguration start from the current member set instead of
+	// the boot-time Config.Members — a lazily created key on a frozen
+	// member list would address removed peers and count quorums of a group
+	// that no longer exists. Any skew between the view and an individual
+	// key is repaired by the epoch anti-entropy on the first frame
+	// exchanged for that key.
+	cfgMu  sync.RWMutex
+	curCfg core.Config
+	// forgotten holds peers declared down by ForgetPeer and not heard from
+	// since. Replicas instantiated while a peer is forgotten apply the
+	// same ForgetPeer treatment at birth, so declaring a peer down is a
+	// node-wide fact rather than a property of the replicas that happened
+	// to exist at the time. A frame from the peer clears it.
+	forgotten map[transport.NodeID]struct{}
+	// flushGen numbers the batch-flush cadence. Each (re)start of the
+	// flush chain bumps it and stamps its events; a flush event whose
+	// generation is stale belongs to a superseded cadence (the membership
+	// changed, moving this node's slot in the window) and is dropped.
+	flushGen atomic.Uint64
+
 	// inboundDropped counts replica frames dropped because a shard's
 	// event queue was full; malformedFrames counts frames whose object
 	// envelope failed to decode. Both are written from the transport's
@@ -219,8 +255,19 @@ type nodeEvent struct {
 	reqID     uint64
 	crash     bool
 	queries   bool                  // evFlush: flush the query batches (else the update batches)
+	gen       uint64                // evFlush: the flush-chain generation this event belongs to
+	reconfig  *reconfigOp           // evReconfig: this node-wide reconfiguration
 	snaps     []persist.KeySnapshot // evRestore: this shard's keys to rehydrate
 	restarted chan error            // evRestartPrep / evRestore: receives the phase result
+}
+
+// reconfigOp is one node-wide reconfiguration fanned out to every shard.
+// Each shard submits the new member set to each of its instantiated keys
+// and reports exactly one aggregate error (nil on success) once all of its
+// keys' reconfiguration rounds have committed or failed.
+type reconfigOp struct {
+	members []transport.NodeID
+	done    chan error // buffered to the shard count; one send per shard
 }
 
 type eventKind uint8
@@ -235,6 +282,7 @@ const (
 	evRestartPrep // drop volatile state, quiesce the persister, stay crashed
 	evRestore     // rehydrate from the given snapshots and resume serving
 	evBudget      // drain the link budget queue of peer `from`
+	evReconfig    // drive this shard's keys through a membership change
 )
 
 type updateOp struct {
@@ -262,9 +310,13 @@ type queryResult struct {
 func NewNode(id transport.NodeID, cfg Config, join func(transport.NodeID, transport.Handler) transport.Conn) (*Node, error) {
 	cfg = cfg.withDefaults()
 	n := &Node{
-		id:   id,
-		cfg:  cfg,
-		quit: make(chan struct{}),
+		id:        id,
+		cfg:       cfg,
+		quit:      make(chan struct{}),
+		forgotten: make(map[transport.NodeID]struct{}),
+	}
+	if !cfg.Joining {
+		n.curCfg = core.Config{Members: append([]transport.NodeID(nil), cfg.Members...)}
 	}
 	if cfg.DataDir != "" {
 		store, err := persist.Open(cfg.DataDir, persist.Options{
@@ -283,7 +335,15 @@ func NewNode(id transport.NodeID, cfg Config, join func(transport.NodeID, transp
 	}
 	// Instantiate the default object eagerly: it validates the member list
 	// and initial state once, at startup, rather than on the first command.
-	rep, err := core.NewReplica(id, cfg.Members, cfg.Initial, cfg.Options)
+	// A joiner starts it with the empty configuration instead — it must
+	// refuse commands until reconfigured in.
+	var rep *core.Replica
+	var err error
+	if cfg.Joining {
+		rep, err = core.NewReplicaConfig(id, core.Config{}, cfg.Initial, cfg.Options)
+	} else {
+		rep, err = core.NewReplica(id, cfg.Members, cfg.Initial, cfg.Options)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -312,32 +372,171 @@ func NewNode(id transport.NodeID, cfg Config, join func(transport.NodeID, transp
 			go s.persister()
 		}
 	}
-	if cfg.BatchInterval > 0 {
-		// De-phase this node's flush cycle from its peers': replicas that
-		// flush in lockstep run their query protocols concurrently and
-		// deny each other's votes every window. Spreading the phases
-		// across the window keeps the per-window protocol runs of
-		// different proposers disjoint in time. The first slot starts one
-		// window in, not at zero — a flush racing node startup could ship
-		// a batch the instant a client enqueues it.
-		offset := cfg.BatchInterval * time.Duration(memberIndex(cfg.Members, id)+1) / time.Duration(len(cfg.Members))
-		for _, s := range n.shards {
-			s := s
-			n.cfg.Clock.AfterFunc(offset, func() {
-				s.post(nodeEvent{kind: evFlush})
-			})
-		}
-	}
+	n.startFlushChain()
 	return n, nil
 }
 
+// startFlushChain (re)starts the batch-flush cadence under a fresh
+// generation, de-phasing this node's flush cycle from its peers':
+// replicas that flush in lockstep run their query protocols concurrently
+// and deny each other's votes every window. Spreading the phases across
+// the window keeps the per-window protocol runs of different proposers
+// disjoint in time. Called at startup and again whenever the member set
+// changes (the node's slot in the window moves with its member index);
+// events of the superseded generation are dropped by the evFlush handler,
+// so exactly one chain drives each shard.
+func (n *Node) startFlushChain() {
+	if n.cfg.BatchInterval <= 0 {
+		return
+	}
+	gen := n.flushGen.Add(1)
+	offset := flushOffset(n.currentConfig().Members, n.id, n.cfg.BatchInterval)
+	for _, s := range n.shards {
+		s := s
+		n.cfg.Clock.AfterFunc(offset, func() {
+			s.post(nodeEvent{kind: evFlush, gen: gen})
+		})
+	}
+}
+
+// flushOffset places this node's first flush slot within the batch
+// window, by member index. The first slot starts a fraction of a window
+// in, never at zero — a flush racing node startup could ship a batch the
+// instant a client enqueues it. A node outside the member set (a joiner,
+// or a node a reconfiguration removed) and an empty view get one full
+// window: there is no slot to claim and nothing to de-phase against.
+func flushOffset(members []transport.NodeID, id transport.NodeID, interval time.Duration) time.Duration {
+	idx := memberIndex(members, id)
+	if len(members) == 0 || idx < 0 {
+		return interval
+	}
+	return interval * time.Duration(idx+1) / time.Duration(len(members))
+}
+
+// memberIndex returns id's position in members, or -1 when absent.
 func memberIndex(members []transport.NodeID, id transport.NodeID) int {
 	for i, m := range members {
 		if m == id {
 			return i
 		}
 	}
-	return 0
+	return -1
+}
+
+// currentConfig returns the node's configuration view. The returned
+// member slice is shared and must be treated as immutable.
+func (n *Node) currentConfig() core.Config {
+	n.cfgMu.RLock()
+	defer n.cfgMu.RUnlock()
+	return n.curCfg
+}
+
+// noteConfig folds one replica's adopted configuration into the node
+// view, keeping the greatest. When the member set actually changed, the
+// batch-flush cadence restarts so this node's flush slot tracks its index
+// in the new membership (and its window length the new member count).
+func (n *Node) noteConfig(cfg core.Config) {
+	n.cfgMu.Lock()
+	if !cfg.Supersedes(n.curCfg) {
+		n.cfgMu.Unlock()
+		return
+	}
+	changed := !sameMembers(n.curCfg.Members, cfg.Members)
+	n.curCfg = cfg
+	n.cfgMu.Unlock()
+	if changed {
+		n.startFlushChain()
+	}
+}
+
+func sameMembers(a, b []transport.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Members returns the node's current membership view — the member set of
+// the greatest configuration any of its replicas has adopted (boot-time
+// Config.Members until the first reconfiguration commits).
+func (n *Node) Members() []transport.NodeID {
+	cfg := n.currentConfig()
+	return append([]transport.NodeID(nil), cfg.Members...)
+}
+
+// Epoch returns the configuration epoch of the node's membership view.
+func (n *Node) Epoch() uint64 { return n.currentConfig().Epoch }
+
+// Reconfigure proposes the given member set to every object instantiated
+// on this node and blocks until each key's reconfiguration round commits
+// under the joint quorum (a majority of the old member set AND a majority
+// of the new one must adopt it), or fails. New members learn each key's
+// full payload from the configuration push itself — reconfiguring a
+// joiner in IS its state bootstrap (docs/PROTOCOL.md §6).
+//
+// Reconfigure must be issued on a current member. Concurrent proposals
+// for the same key converge deterministically but the loser surfaces
+// core.ErrConfigConflict; operators are expected to serialize membership
+// changes through one admin at a time. Keys instantiated on other nodes
+// but never on this one are repaired lazily, by the epoch anti-entropy on
+// their next frame.
+func (n *Node) Reconfigure(ctx context.Context, members []transport.NodeID) error {
+	op := &reconfigOp{
+		members: append([]transport.NodeID(nil), members...),
+		done:    make(chan error, len(n.shards)),
+	}
+	for _, s := range n.shards {
+		if err := s.submit(ctx, nodeEvent{kind: evReconfig, reconfig: op}); err != nil {
+			return err
+		}
+	}
+	var errs []error
+	for range n.shards {
+		select {
+		case err := <-op.done:
+			if err != nil {
+				errs = append(errs, err)
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-n.quit:
+			return ErrStopped
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// forgottenPeers snapshots the peers currently declared down.
+func (n *Node) forgottenPeers() []transport.NodeID {
+	n.cfgMu.RLock()
+	defer n.cfgMu.RUnlock()
+	if len(n.forgotten) == 0 {
+		return nil
+	}
+	out := make([]transport.NodeID, 0, len(n.forgotten))
+	for id := range n.forgotten {
+		out = append(out, id)
+	}
+	return out
+}
+
+// unforget clears a peer's down mark: a frame from it proves it is back,
+// and every transfer assumption built from here on is fresh.
+func (n *Node) unforget(id transport.NodeID) {
+	n.cfgMu.RLock()
+	_, down := n.forgotten[id]
+	n.cfgMu.RUnlock()
+	if !down {
+		return
+	}
+	n.cfgMu.Lock()
+	delete(n.forgotten, id)
+	n.cfgMu.Unlock()
 }
 
 // ID returns the node's ID.
@@ -465,7 +664,16 @@ func (n *Node) QueryKey(ctx context.Context, key string) (crdt.State, core.Query
 // re-earns its cache entries, and one that returns empty is caught by the
 // MERGE-NACK fallback either way, so forgetting is purely conservative.
 // The drop fans out to the shards in index order.
+//
+// The peer stays marked down until the next frame arrives from it, and
+// the mark applies to replicas instantiated in between: a key first
+// touched after the peer was declared down starts with the same forgotten
+// treatment, rather than resurrecting per-peer transfer assumptions a
+// node-wide down declaration was meant to clear.
 func (n *Node) ForgetPeer(id transport.NodeID) {
+	n.cfgMu.Lock()
+	n.forgotten[id] = struct{}{}
+	n.cfgMu.Unlock()
 	for _, s := range n.shards {
 		s.call(func() {
 			for _, rep := range s.replicas {
@@ -616,6 +824,7 @@ func (n *Node) handleInbound(from transport.NodeID, payload []byte) {
 		n.malformedFrames.Add(1)
 		return
 	}
+	n.unforget(from)
 	s := n.shardOf(key)
 	select {
 	case s.events <- nodeEvent{kind: evInbound, from: from, key: key, payload: inner}:

@@ -2,7 +2,9 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"crdtsmr/internal/clock"
@@ -144,6 +146,13 @@ func (s *shard) markDirty(key string) {
 
 // replicaFor returns the replica owning key, instantiating it on first
 // touch. The key is marked dirty so its outbox is drained after the event.
+//
+// A fresh replica starts from the node's configuration view, not the
+// boot-time Config.Members: after a reconfiguration, a lazily created key
+// must address the current member set, not the group the node booted
+// with. Peers currently declared down get the same ForgetPeer treatment
+// existing replicas received, so the down declaration covers keys
+// instantiated after it.
 func (s *shard) replicaFor(key string) (*core.Replica, error) {
 	if rep, ok := s.replicas[key]; ok {
 		s.markDirty(key)
@@ -153,9 +162,12 @@ func (s *shard) replicaFor(key string) (*core.Replica, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep, err := core.NewReplica(s.n.id, s.n.cfg.Members, s0, s.n.cfg.Options)
+	rep, err := core.NewReplicaConfig(s.n.id, s.n.currentConfig(), s0, s.n.cfg.Options)
 	if err != nil {
 		return nil, err
+	}
+	for _, p := range s.n.forgottenPeers() {
+		rep.ForgetPeer(p)
 	}
 	s.replicas[key] = rep
 	s.markDirty(key)
@@ -176,7 +188,15 @@ func (s *shard) handle(ev nodeEvent) {
 			s.droppedFrames++
 			return
 		}
+		// A frame can carry a configuration this replica adopts (a
+		// RECONFIG, or the anti-entropy repair after an epoch mismatch);
+		// fold any adoption into the node view so later-instantiated keys
+		// start from it.
+		adoptions := rep.Counters().ConfigAdoptions
 		rep.Deliver(ev.from, ev.payload)
+		if rep.Counters().ConfigAdoptions != adoptions {
+			s.n.noteConfig(rep.ConfigState())
+		}
 	case evUpdate:
 		if s.crashed {
 			ev.update.done <- updateResult{err: ErrUnavailable}
@@ -209,6 +229,13 @@ func (s *shard) handle(ev nodeEvent) {
 			}
 		}
 	case evFlush:
+		// A stale generation is a superseded cadence: the membership
+		// changed and startFlushChain began a new chain with this node's
+		// new slot in the window. Dropping the event (instead of re-arming)
+		// is what terminates the old chain.
+		if ev.gen != s.n.flushGen.Load() {
+			return
+		}
 		if !s.crashed {
 			s.flushBatches(ev.queries)
 		}
@@ -220,9 +247,11 @@ func (s *shard) handle(ev nodeEvent) {
 		if s.n.cfg.BatchInterval > 0 {
 			next := !ev.queries
 			s.flushTimer = s.n.cfg.Clock.AfterFunc(s.n.cfg.BatchInterval/2, func() {
-				s.post(nodeEvent{kind: evFlush, queries: next})
+				s.post(nodeEvent{kind: evFlush, queries: next, gen: ev.gen})
 			})
 		}
+	case evReconfig:
+		s.startReconfigure(ev.reconfig)
 	case evBudget:
 		s.drainBudget(ev.from)
 	case evSetCrashed:
@@ -303,6 +332,74 @@ func (s *shard) startQuery(key string, ops []*queryOp) {
 	if rep.Pending(reqID) {
 		s.armTimer(key, reqID)
 	}
+}
+
+// reconfigAgg aggregates one shard's per-key reconfiguration outcomes.
+// It lives on the loop (callbacks fire from Deliver and Abort, both
+// loop-run), so no locking: pending counts keys whose rounds are still
+// gathering their joint quorum, and the shard's single result is sent
+// when the last one settles — but never before submission finishes, so a
+// key that commits synchronously (a single-member group) cannot conclude
+// the shard while later keys are still being submitted.
+type reconfigAgg struct {
+	op        *reconfigOp
+	pending   int
+	submitted bool
+	errs      []error
+}
+
+func (a *reconfigAgg) settle(err error) {
+	if err != nil {
+		a.errs = append(a.errs, err)
+	}
+	a.pending--
+	a.maybeFinish()
+}
+
+func (a *reconfigAgg) maybeFinish() {
+	if a.submitted && a.pending == 0 {
+		a.op.done <- errors.Join(a.errs...)
+	}
+}
+
+// startReconfigure submits the new member set to every key instantiated
+// on this shard, in sorted key order for determinism. Each key runs its
+// own reconfiguration round (configuration is per-key state); the shard
+// reports once, when all of them have committed or failed. Lost RECONFIGs
+// are re-driven by the same retransmit timers as any other request.
+func (s *shard) startReconfigure(op *reconfigOp) {
+	if s.crashed {
+		op.done <- ErrUnavailable
+		return
+	}
+	keys := make([]string, 0, len(s.replicas))
+	for k := range s.replicas {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	agg := &reconfigAgg{op: op}
+	for _, key := range keys {
+		rep := s.replicas[key]
+		s.markDirty(key)
+		agg.pending++
+		reqID, err := rep.SubmitReconfigure(op.members, func(err error) {
+			agg.settle(err)
+		})
+		if err != nil {
+			agg.pending--
+			agg.errs = append(agg.errs, fmt.Errorf("key %q: %w", key, err))
+			continue
+		}
+		// The proposer self-adopts the candidate configuration on
+		// submission; surface it to the node view right away so keys
+		// instantiated during the round already use the new member set.
+		s.n.noteConfig(rep.ConfigState())
+		if rep.Pending(reqID) {
+			s.armTimer(key, reqID)
+		}
+	}
+	agg.submitted = true
+	agg.maybeFinish()
 }
 
 // flushBatches starts one protocol run per key holding buffered commands of
@@ -468,7 +565,7 @@ func (s *shard) installSnapshot(ks persist.KeySnapshot) error {
 		if err != nil {
 			return fmt.Errorf("cluster: %s: snapshot for unconfigured key %q: %w", s.n.id, ks.Key, err)
 		}
-		rep, err = core.NewReplica(s.n.id, s.n.cfg.Members, s0, s.n.cfg.Options)
+		rep, err = core.NewReplicaConfig(s.n.id, s.n.currentConfig(), s0, s.n.cfg.Options)
 		if err != nil {
 			return err
 		}
@@ -476,6 +573,12 @@ func (s *shard) installSnapshot(ks persist.KeySnapshot) error {
 	}
 	if err := rep.Restore(ks.Snap); err != nil {
 		return fmt.Errorf("cluster: %s: restore %q: %w", s.n.id, ks.Key, err)
+	}
+	// The snapshot may carry a configuration newer than the node's view
+	// (the common case at startup: the view is the boot-time member list,
+	// the disk has what this key had actually adopted).
+	if cfg := rep.ConfigState(); len(cfg.Members) > 0 {
+		s.n.noteConfig(cfg)
 	}
 	s.savedVersion[ks.Key] = rep.StateVersion()
 	return nil
@@ -522,7 +625,7 @@ func (s *shard) restartPrep() error {
 // the disk cannot reproduce what was promised to the quorum.
 func (s *shard) restore(snaps []persist.KeySnapshot) error {
 	if s.n.shardFor(DefaultKey) == s.idx {
-		rep, err := core.NewReplica(s.n.id, s.n.cfg.Members, s.n.cfg.Initial, s.n.cfg.Options)
+		rep, err := core.NewReplicaConfig(s.n.id, s.n.currentConfig(), s.n.cfg.Initial, s.n.cfg.Options)
 		if err != nil {
 			return err
 		}

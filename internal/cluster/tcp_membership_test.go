@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"crdtsmr/internal/crdt"
+	"crdtsmr/internal/transport"
+)
+
+// tcpNode pairs a Node with the TCP endpoint it joined through, so tests
+// can edit the address book the way a deployment would (member-add on one
+// member, hello handshake everywhere else).
+type tcpNode struct {
+	node *Node
+	tcp  *transport.TCP
+}
+
+func newTCPNode(t *testing.T, id transport.NodeID, cfg Config) tcpNode {
+	t.Helper()
+	var tcp *transport.TCP
+	n, err := NewNode(id, cfg, func(nid transport.NodeID, h transport.Handler) transport.Conn {
+		tp, err := transport.NewTCP(nid, "127.0.0.1:0", nil, h)
+		if err != nil {
+			t.Fatalf("%s: %v", nid, err)
+		}
+		tcp = tp
+		return tp
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	t.Cleanup(func() { _ = n.Close() })
+	return tcpNode{node: n, tcp: tcp}
+}
+
+// TestTCPReconfigureGrowLearnsDialBack pins the production join path that
+// the in-process Mesh (a shared address space) structurally cannot
+// exercise: over real sockets each endpoint holds its own address book,
+// and when a joiner is admitted only the member that served the admission
+// knows where the joiner listens. Every other member must learn a
+// dial-back path from the joiner's transport hello (§1.1) the first time
+// it is contacted — without that, their votes to the joiner drop on the
+// floor and the joiner's quorum reads stall forever even though its own
+// messages keep arriving everywhere.
+func TestTCPReconfigureGrowLearnsDialBack(t *testing.T) {
+	cfg := testConfig(3)
+	nodes := map[transport.NodeID]tcpNode{
+		"n1": newTCPNode(t, "n1", cfg),
+		"n2": newTCPNode(t, "n2", cfg),
+		"n3": newTCPNode(t, "n3", cfg),
+	}
+	// Symmetric static books among the founders, as -peers would set up.
+	for id, a := range nodes {
+		for id2, b := range nodes {
+			if id != id2 {
+				a.tcp.AddPeer(id2, b.tcp.Addr())
+			}
+		}
+	}
+
+	ctx := ctxWith(t, 30*time.Second)
+	if _, err := nodes["n1"].node.UpdateKey(ctx, "k", incBy("n1", 7)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The joiner knows all founders; of the founders, only n1 (the member
+	// serving the admission) is told the joiner's address.
+	jcfg := cfg
+	jcfg.Joining = true
+	joiner := newTCPNode(t, "n4", jcfg)
+	for id, a := range nodes {
+		joiner.tcp.AddPeer(id, a.tcp.Addr())
+	}
+	nodes["n1"].tcp.AddPeer("n4", joiner.tcp.Addr())
+
+	if err := nodes["n1"].node.Reconfigure(ctx, members(4)); err != nil {
+		t.Fatalf("reconfigure 3→4: %v", err)
+	}
+
+	// The joiner's first read runs a full quorum round against peers that
+	// never had it in their books; it completes only because its own
+	// outbound connections taught them a dial-back path.
+	s, err := waitServing(ctx, joiner.node, "k")
+	if err != nil {
+		t.Fatalf("joiner query after reconfigure: %v", err)
+	}
+	if got := s.(*crdt.GCounter).Value(); got != 7 {
+		t.Fatalf("joiner read %d, want 7 (bootstrap payload missing)", got)
+	}
+	if _, err := joiner.node.UpdateKey(ctx, "k", incBy("n4", 3)); err != nil {
+		t.Fatalf("joiner update after reconfigure: %v", err)
+	}
+	s, _, err = nodes["n2"].node.QueryKey(ctx, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.(*crdt.GCounter).Value(); got != 10 {
+		t.Fatalf("read %d after joiner update, want 10", got)
+	}
+
+	// Shrink away the admitting member: the joiner must keep serving with
+	// a quorum drawn from peers it reached only via learned addresses.
+	if err := nodes["n2"].node.Reconfigure(ctx, []transport.NodeID{"n2", "n3", "n4"}); err != nil {
+		t.Fatalf("reconfigure 4→3: %v", err)
+	}
+	_ = nodes["n1"].node.Close()
+	s, err = waitServing(ctx, joiner.node, "k")
+	if err != nil {
+		t.Fatalf("joiner query after shrink: %v", err)
+	}
+	if got := s.(*crdt.GCounter).Value(); got != 10 {
+		t.Fatalf("joiner read %d after shrink, want 10", got)
+	}
+	if _, err := joiner.node.UpdateKey(ctx, "k", incBy("n4", 1)); err != nil {
+		t.Fatalf("joiner update after shrink: %v", err)
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"crdtsmr/internal/transport"
+)
+
+// Config is the versioned membership of one object's replica group. The
+// member set is no longer frozen at construction: a reconfiguration round
+// (SubmitReconfigure) proposes a new set, commits under a joint quorum —
+// a majority of the old members AND a majority of the new — and bumps the
+// epoch, after which messages stamped with a stale epoch are answered
+// with an EPOCH-NACK instead of being processed (docs/PROTOCOL.md §6).
+//
+// Configs form a join-semilattice ordered by (Epoch, Source): every
+// replica adopts the greatest config it has seen, so divergent proposals
+// (two proposers racing the same epoch) converge deterministically even
+// before the conflict is reported back to the losing proposer. Source is
+// the proposer that minted the epoch; the initial config has an empty
+// Source, which every minted config supersedes at equal epoch.
+type Config struct {
+	Epoch   uint64
+	Source  transport.NodeID
+	Members []transport.NodeID
+}
+
+// Supersedes reports whether c is strictly greater than o in the config
+// order: by epoch, then by minting proposer.
+func (c Config) Supersedes(o Config) bool {
+	if c.Epoch != o.Epoch {
+		return c.Epoch > o.Epoch
+	}
+	return c.Source > o.Source
+}
+
+// sameConfig reports whether two configs are the same lattice element.
+// Epoch and Source identify a config completely — a proposer mints at
+// most one member set per epoch — so the member lists need no comparison.
+func sameConfig(a, b Config) bool {
+	return a.Epoch == b.Epoch && a.Source == b.Source
+}
+
+// contains reports whether id appears in members.
+func contains(members []transport.NodeID, id transport.NodeID) bool {
+	for _, m := range members {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+// majority is the quorum size over a member set.
+func majority(members []transport.NodeID) int { return len(members)/2 + 1 }
+
+// normalizeMembers validates and canonicalizes a proposed member set:
+// non-empty, no duplicates, sorted (so every replica stores and ships the
+// same list for the same set).
+func normalizeMembers(members []transport.NodeID) ([]transport.NodeID, error) {
+	if len(members) == 0 {
+		return nil, errors.New("core: empty member set")
+	}
+	out := make([]transport.NodeID, len(members))
+	copy(out, members)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	for i := 1; i < len(out); i++ {
+		if out[i] == out[i-1] {
+			return nil, fmt.Errorf("core: duplicate member %s", out[i])
+		}
+	}
+	return out, nil
+}
+
+// ErrNotMember is returned for commands submitted to a replica that is
+// not (or is no longer, after a reconfiguration removed it) a member of
+// its group. Clients should refresh their member list and retry against
+// a current member.
+var ErrNotMember = errors.New("core: replica is not a member of the current configuration")
+
+// ErrReconfigInFlight is returned by SubmitReconfigure while an earlier
+// reconfiguration of the same object has not committed yet.
+var ErrReconfigInFlight = errors.New("core: reconfiguration already in flight")
+
+// ErrConfigConflict is reported to a reconfiguration's completion callback
+// when a competing configuration superseded the proposal before it could
+// commit. The object's config has converged to the winner; the caller
+// re-reads it and retries if its change is still wanted.
+var ErrConfigConflict = errors.New("core: reconfiguration superseded by a competing configuration")
+
+// reconfigReq is the proposer-side state of one reconfiguration round.
+type reconfigReq struct {
+	id      uint64
+	cfg     Config             // the proposed config (epoch = old+1, source = this replica)
+	old     []transport.NodeID // the member set the proposal replaces
+	targets []transport.NodeID // union(old, new) minus self: everyone who must hear the proposal
+	acked   map[transport.NodeID]bool
+	done    func(error)
+}
+
+// committed reports whether the joint quorum has been reached: a majority
+// of the old member set and a majority of the new have both accepted.
+func (req *reconfigReq) committed() bool {
+	oldAcks, newAcks := 0, 0
+	for id, ok := range req.acked {
+		if !ok {
+			continue
+		}
+		if contains(req.old, id) {
+			oldAcks++
+		}
+		if contains(req.cfg.Members, id) {
+			newAcks++
+		}
+	}
+	return oldAcks >= majority(req.old) && newAcks >= majority(req.cfg.Members)
+}

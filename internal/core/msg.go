@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"crdtsmr/internal/crdt"
+	"crdtsmr/internal/transport"
 	"crdtsmr/internal/wire"
 )
 
@@ -40,6 +41,25 @@ const (
 	// baseline the receiver does not recognize: the sender must fall back
 	// to the full payload (docs/PROTOCOL.md §3.3).
 	msgMergeNack
+	// msgReconfig carries a configuration — NewEpoch, Source, Members —
+	// plus the sender's full payload state. It is both the proposal of a
+	// reconfiguration round (JOIN/LEAVE in one frame: the receiver adopts
+	// the config if it supersedes its own) and the config-push that brings
+	// a lagging or joining replica current in one message: config plus
+	// payload is the complete bootstrap of a log-free replica
+	// (docs/PROTOCOL.md §6).
+	msgReconfig
+	// msgReconfigAck accepts a RECONFIG: the sender has adopted the config
+	// whose epoch the ack's Epoch field names. The proposer commits once
+	// acks form a joint quorum (majority of old ∧ majority of new).
+	msgReconfigAck
+	// msgEpochNack answers any message whose epoch does not match the
+	// receiver's, carrying the receiver's config (epoch, source, members)
+	// and no payload. A receiver that learns of a greater config from the
+	// nack adopts it; one that holds a greater config answers with a
+	// RECONFIG push. Either way the two sides converge without any
+	// retransmission schedule of their own.
+	msgEpochNack
 )
 
 // msgFlagLease is OR'd into the wire type byte (docs/PROTOCOL.md §5). On
@@ -70,6 +90,12 @@ func (t msgType) String() string {
 		return "NACK"
 	case msgMergeNack:
 		return "MERGE-NACK"
+	case msgReconfig:
+		return "RECONFIG"
+	case msgReconfigAck:
+		return "RECONFIG-ACK"
+	case msgEpochNack:
+		return "EPOCH-NACK"
 	default:
 		return fmt.Sprintf("msgType(%d)", uint8(t))
 	}
@@ -89,7 +115,21 @@ type message struct {
 	Type    msgType
 	Req     uint64
 	Attempt uint32
-	Round   Round
+
+	// Epoch is the sender's configuration epoch (docs/PROTOCOL.md §6).
+	// Every message carries it; a receiver whose epoch differs answers
+	// with EPOCH-NACK instead of processing the message, so traffic from
+	// a stale configuration can never count toward a current quorum.
+	Epoch uint64
+
+	Round Round
+
+	// Config fields, present on RECONFIG and EPOCH-NACK frames only: the
+	// epoch being proposed or held, the proposer that minted it, and its
+	// member set.
+	NewEpoch uint64
+	Source   transport.NodeID
+	Members  []transport.NodeID
 
 	// Lease carries the msgFlagLease bit: a capability hint on ACK/VOTED
 	// replies, a preserve-this-round marker on lease-holder MERGEs.
@@ -106,13 +146,17 @@ type message struct {
 	StateRaw []byte
 }
 
+// hasConfig reports whether the message type carries a config frame.
+func hasConfig(t msgType) bool { return t == msgReconfig || t == msgEpochNack }
+
 // encode serializes the message. Layout:
 //
-//	type(1) | req uvarint | attempt uvarint | round | stateFrame
+//	type(1) | req uvarint | attempt uvarint | epoch uvarint | round |
+//	[configFrame] | stateFrame
 //
-// where stateFrame is the versioned state-transfer frame of
-// internal/wire/state.go (kinds 0 and 1 are byte-identical to the legacy
-// hasState(1) | [state] layout).
+// where the configFrame (internal/wire/config.go) is present only on
+// RECONFIG and EPOCH-NACK frames, and stateFrame is the versioned
+// state-transfer frame of internal/wire/state.go.
 func (m *message) encode() ([]byte, error) {
 	kind := m.Kind
 	if kind == wire.StateNone && m.State != nil {
@@ -141,7 +185,15 @@ func (m *message) encode() ([]byte, error) {
 	w.Byte(b)
 	w.Uvarint(m.Req)
 	w.Uvarint(uint64(m.Attempt))
+	w.Uvarint(m.Epoch)
 	m.Round.encode(&w)
+	if hasConfig(m.Type) {
+		cf := wire.ConfigFrame{Epoch: m.NewEpoch, Source: string(m.Source), Members: make([]string, len(m.Members))}
+		for i, id := range m.Members {
+			cf.Members[i] = string(id)
+		}
+		cf.Append(&w)
+	}
 	frame.Append(&w)
 	return w.Bytes(), nil
 }
@@ -155,7 +207,17 @@ func decodeMessage(p []byte) (*message, error) {
 		Lease:   raw&msgFlagLease != 0,
 		Req:     r.Uvarint(),
 		Attempt: uint32(r.Uvarint()),
+		Epoch:   r.Uvarint(),
 		Round:   decodeRound(r),
+	}
+	if hasConfig(m.Type) {
+		cf := wire.ReadConfigFrame(r)
+		m.NewEpoch = cf.Epoch
+		m.Source = transport.NodeID(cf.Source)
+		m.Members = make([]transport.NodeID, len(cf.Members))
+		for i, id := range cf.Members {
+			m.Members[i] = transport.NodeID(id)
+		}
 	}
 	frame := wire.ReadStateFrame(r)
 	if err := r.Done(); err != nil {
@@ -172,7 +234,7 @@ func decodeMessage(p []byte) (*message, error) {
 		m.State = s
 		m.StateRaw = frame.State
 	}
-	if m.Type < msgMerge || m.Type > msgMergeNack {
+	if m.Type < msgMerge || m.Type > msgEpochNack {
 		return nil, fmt.Errorf("core: unknown message type %d", m.Type)
 	}
 	return m, nil

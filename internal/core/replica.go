@@ -119,9 +119,16 @@ var ErrAborted = errors.New("core: request aborted")
 // transmit the envelopes.
 type Replica struct {
 	id     transport.NodeID
-	peers  []transport.NodeID // remote peers only (excludes id)
-	quorum int                // majority of the full cluster incl. self
+	cfg    Config             // current configuration (epoch, source, members)
+	peers  []transport.NodeID // remote members only (excludes id), derived from cfg
+	quorum int                // majority of cfg.Members, derived from cfg
+	member bool               // whether id ∈ cfg.Members, derived from cfg
 	opts   Options
+
+	// reconfig is the in-flight reconfiguration round this replica
+	// proposed, nil when none. At most one per replica: a second proposal
+	// before commit returns ErrReconfigInFlight.
+	reconfig *reconfigReq
 
 	acc  acceptor
 	xfer transferState // digest/delta bookkeeping (Transfer != TransferFull)
@@ -171,6 +178,9 @@ type Counters struct {
 	MergeFallbacks     uint64 // full-payload resends after a MERGE-NACK
 	LeaseHits          uint64 // queries learned via the prepare-skip fast path
 	LeaseFallbacks     uint64 // leased attempts that fell back to a full prepare
+	EpochNacks         uint64 // messages refused for a mismatched config epoch
+	ConfigAdoptions    uint64 // configurations adopted (reconfigs, pushes, nacks)
+	ReconfigCommits    uint64 // reconfiguration rounds this replica committed as proposer
 
 	// Runtime-level overload counters. The replica itself never sets
 	// them; the cluster runtime fills them into its aggregated snapshot
@@ -203,6 +213,9 @@ func (c *Counters) Add(o Counters) {
 	c.MergeFallbacks += o.MergeFallbacks
 	c.LeaseHits += o.LeaseHits
 	c.LeaseFallbacks += o.LeaseFallbacks
+	c.EpochNacks += o.EpochNacks
+	c.ConfigAdoptions += o.ConfigAdoptions
+	c.ReconfigCommits += o.ReconfigCommits
 	c.InboundDropped += o.InboundDropped
 	c.BudgetDelayed += o.BudgetDelayed
 	c.BudgetCoalesced += o.BudgetCoalesced
@@ -286,36 +299,54 @@ type ackInfo struct {
 	lease bool // the acceptor advertised the lease capability
 }
 
-// NewReplica creates a protocol participant. id must appear in members,
-// which lists the full cluster (the quorum system is majority over
-// members). s0 is the initial payload state, identical on every replica.
+// NewReplica creates a protocol participant at the initial configuration
+// (epoch 0). id must appear in members, which lists the full cluster (the
+// quorum system is majority over members). s0 is the initial payload
+// state, identical on every replica.
 func NewReplica(id transport.NodeID, members []transport.NodeID, s0 crdt.State, opts Options) (*Replica, error) {
-	peers := make([]transport.NodeID, 0, len(members)-1)
-	self := false
-	for _, m := range members {
-		if m == id {
-			self = true
-			continue
-		}
-		peers = append(peers, m)
-	}
-	if !self {
+	if !contains(members, id) {
 		return nil, fmt.Errorf("core: replica %s not in member list %v", id, members)
 	}
+	return NewReplicaConfig(id, Config{Members: members}, s0, opts)
+}
+
+// NewReplicaConfig creates a protocol participant seeded with an explicit
+// configuration — a later epoch on a node that already adopted one, or an
+// empty member set for a joining replica. A replica whose id is not in
+// cfg.Members starts as a non-member: it refuses client commands
+// (ErrNotMember) and serves no quorums, but accepts configuration pushes,
+// which is exactly how a joiner waits to be reconfigured in
+// (docs/ARCHITECTURE.md, "Reconfiguration lifecycle").
+func NewReplicaConfig(id transport.NodeID, cfg Config, s0 crdt.State, opts Options) (*Replica, error) {
 	if s0 == nil {
 		return nil, errors.New("core: nil initial state")
 	}
-	return &Replica{
+	r := &Replica{
 		id:      id,
-		peers:   peers,
-		quorum:  len(members)/2 + 1,
 		opts:    opts,
 		acc:     newAcceptor(s0),
 		xfer:    newTransferState(),
 		updates: make(map[uint64]*updateReq),
 		queries: make(map[uint64]*queryReq),
 		learned: s0,
-	}, nil
+	}
+	r.setConfig(cfg)
+	return r, nil
+}
+
+// setConfig installs cfg and re-derives everything membership determines:
+// the remote peer list, the quorum size, and whether this replica is a
+// member at all. Callers handle in-flight request migration.
+func (r *Replica) setConfig(cfg Config) {
+	r.cfg = cfg
+	r.peers = r.peers[:0]
+	for _, m := range cfg.Members {
+		if m != r.id {
+			r.peers = append(r.peers, m)
+		}
+	}
+	r.quorum = majority(cfg.Members)
+	r.member = contains(cfg.Members, r.id)
 }
 
 // isPeer reports whether id is a configured remote peer. Digest and delta
@@ -356,8 +387,23 @@ func (r *Replica) DropLease() { r.lease = nil }
 // ID returns the replica's node ID.
 func (r *Replica) ID() transport.NodeID { return r.id }
 
-// Quorum returns the quorum size (majority of the cluster).
+// Quorum returns the quorum size (majority of the current member set).
 func (r *Replica) Quorum() int { return r.quorum }
+
+// Epoch returns the replica's current configuration epoch.
+func (r *Replica) Epoch() uint64 { return r.cfg.Epoch }
+
+// ConfigState returns a copy of the replica's current configuration.
+func (r *Replica) ConfigState() Config {
+	members := make([]transport.NodeID, len(r.cfg.Members))
+	copy(members, r.cfg.Members)
+	return Config{Epoch: r.cfg.Epoch, Source: r.cfg.Source, Members: members}
+}
+
+// IsMember reports whether this replica belongs to the current member
+// set. A non-member (a joiner awaiting its first committed epoch, or a
+// node a reconfiguration removed) refuses client commands.
+func (r *Replica) IsMember() bool { return r.member }
 
 // LocalState returns the local acceptor's current payload. It reflects
 // only this replica's view and is NOT linearizable; use SubmitQuery for
@@ -375,19 +421,32 @@ func (r *Replica) TakeOutbox() []Envelope {
 	return out
 }
 
-// InFlight returns the number of client requests not yet completed.
-func (r *Replica) InFlight() int { return len(r.updates) + len(r.queries) }
+// InFlight returns the number of client requests not yet completed,
+// counting a pending reconfiguration as one.
+func (r *Replica) InFlight() int {
+	n := len(r.updates) + len(r.queries)
+	if r.reconfig != nil {
+		n++
+	}
+	return n
+}
 
 // Pending reports whether the given request is still in flight.
 func (r *Replica) Pending(reqID uint64) bool {
 	if _, ok := r.updates[reqID]; ok {
 		return true
 	}
-	_, ok := r.queries[reqID]
-	return ok
+	if _, ok := r.queries[reqID]; ok {
+		return true
+	}
+	return r.reconfig != nil && r.reconfig.id == reqID
 }
 
 func (r *Replica) send(to transport.NodeID, m *message) {
+	// Every outbound message is stamped with the current config epoch, so
+	// receivers can refuse traffic from a stale configuration before it
+	// reaches the protocol handlers (docs/PROTOCOL.md §6).
+	m.Epoch = r.cfg.Epoch
 	p, err := m.encode()
 	if err != nil {
 		// Encoding fails only for unmarshalable states — a programming
@@ -411,6 +470,9 @@ func (r *Replica) broadcast(m *message) {
 // replica) has merged. Returns the request ID, or an error if the update
 // function itself failed (in which case done is not called).
 func (r *Replica) SubmitUpdate(fu crdt.Update, done UpdateDone) (uint64, error) {
+	if !r.member {
+		return 0, ErrNotMember
+	}
 	// A lease-holder update carries the leased round on its MERGEs: the
 	// holder's own leased reads always propose a superset of its updates
 	// (same serial process), so preserving the round at acceptors that
@@ -490,6 +552,15 @@ func (r *Replica) sendMerge(req *updateReq, to transport.NodeID) {
 // fq(s) to the client).
 func (r *Replica) SubmitQuery(done QueryDone) uint64 {
 	r.nextReq++
+	if !r.member {
+		// Fail through the callback (the signature has no error return):
+		// a non-member holds no quorum and must not serve reads.
+		id := r.nextReq
+		if done != nil {
+			done(nil, QueryStats{}, ErrNotMember)
+		}
+		return id
+	}
 	req := &queryReq{
 		id:   r.nextReq,
 		done: done,
@@ -690,6 +761,34 @@ func (r *Replica) Deliver(from transport.NodeID, payload []byte) {
 	m, err := decodeMessage(payload)
 	if err != nil {
 		r.counters.MalformedMsgs++
+		return
+	}
+	// Configuration traffic is handled before the epoch gate: it is the
+	// anti-entropy channel that repairs epoch mismatches.
+	switch m.Type {
+	case msgReconfig:
+		r.onReconfig(from, m)
+		return
+	case msgReconfigAck:
+		r.onReconfigAck(from, m)
+		return
+	case msgEpochNack:
+		r.onEpochNack(from, m)
+		return
+	}
+	if m.Epoch != r.cfg.Epoch {
+		// Stale- or future-epoch traffic never reaches the protocol: a
+		// quorum counted across configurations would not be a quorum of
+		// either. The two sides converge instead — a sender behind us gets
+		// our config pushed (with the full payload: the log-free bootstrap
+		// in one message); a sender ahead of us is told our config so it
+		// pushes its own back.
+		r.counters.EpochNacks++
+		if m.Epoch < r.cfg.Epoch {
+			r.pushConfig(from, m.Req)
+		} else {
+			r.sendEpochNack(from, m.Req)
+		}
 		return
 	}
 	switch m.Type {
@@ -1273,6 +1372,14 @@ func (r *Replica) Retransmit(reqID uint64) {
 	}
 	if req, ok := r.queries[reqID]; ok {
 		r.retransmitQuery(req)
+		return
+	}
+	if r.reconfig != nil && r.reconfig.id == reqID {
+		for _, p := range r.reconfig.targets {
+			if !r.reconfig.acked[p] {
+				r.sendReconfig(p, r.reconfig.id)
+			}
+		}
 	}
 }
 
@@ -1327,12 +1434,15 @@ func (r *Replica) retransmitQuery(req *queryReq) {
 // Deterministic runtimes (the interleaving checker) use it in place of
 // per-request timers when the network goes quiescent under loss.
 func (r *Replica) RetransmitAll() {
-	ids := make([]uint64, 0, len(r.updates)+len(r.queries))
+	ids := make([]uint64, 0, len(r.updates)+len(r.queries)+1)
 	for id := range r.updates {
 		ids = append(ids, id)
 	}
 	for id := range r.queries {
 		ids = append(ids, id)
+	}
+	if r.reconfig != nil {
+		ids = append(ids, r.reconfig.id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
@@ -1363,6 +1473,17 @@ func (r *Replica) Abort(reqID uint64) {
 		delete(r.queries, reqID)
 		if req.done != nil {
 			req.done(nil, QueryStats{RoundTrips: req.rtts, Attempts: int(req.attempt)}, ErrAborted)
+		}
+		return
+	}
+	if r.reconfig != nil && r.reconfig.id == reqID {
+		req := r.reconfig
+		r.reconfig = nil
+		// The adopted config stays — epochs only move forward — but the
+		// proposer stops driving the round; anti-entropy (config pushes on
+		// epoch mismatch) still spreads it.
+		if req.done != nil {
+			req.done(ErrAborted)
 		}
 	}
 }

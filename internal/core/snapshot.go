@@ -30,12 +30,17 @@ import (
 //     from every round this proposer issued before the crash (round IDs
 //     must never repeat, or late replies to a pre-crash request could be
 //     counted toward a post-crash one with the same ID).
+//   - Config is the membership configuration the replica had adopted
+//     (docs/PROTOCOL.md §6). Persisting it is what keeps a reconfigured
+//     group safe across restarts: a replica that acked a new config and
+//     crashed must not come back serving quorums of the old member set.
 type Snapshot struct {
 	Round   Round
 	State   crdt.State
 	Learned crdt.State
 	NextReq uint64
 	NextSeq uint64
+	Config  Config
 }
 
 // Snapshot returns the replica's current durable state. The contained
@@ -48,6 +53,7 @@ func (r *Replica) Snapshot() Snapshot {
 		Learned: r.learned,
 		NextReq: r.nextReq,
 		NextSeq: r.nextSeq,
+		Config:  r.ConfigState(),
 	}
 }
 
@@ -93,6 +99,13 @@ func (r *Replica) Restore(snap Snapshot) error {
 	}
 	if snap.NextSeq > r.nextSeq {
 		r.nextSeq = snap.NextSeq
+	}
+	// The config joins like everything else: adopt the snapshot's if it
+	// supersedes the one the replica was constructed with (it usually does
+	// — construction seeds the node's boot-time view, the snapshot has what
+	// this replica had actually adopted), keep the newer one otherwise.
+	if snap.Config.Supersedes(r.cfg) && len(snap.Config.Members) > 0 {
+		r.setConfig(snap.Config)
 	}
 	// The round lease is deliberately absent from Snapshot and dropped
 	// here: a restarted replica must re-earn its fast path through a full

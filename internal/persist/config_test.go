@@ -1,0 +1,85 @@
+package persist
+
+import (
+	"crypto/sha256"
+	"reflect"
+	"testing"
+
+	"crdtsmr/internal/core"
+	"crdtsmr/internal/crdt"
+	"crdtsmr/internal/transport"
+	"crdtsmr/internal/wire"
+)
+
+// TestConfigRoundTrip: the v2 format carries the membership configuration
+// through encode/decode and back into a core.Snapshot.
+func TestConfigRoundTrip(t *testing.T) {
+	snap := core.Snapshot{
+		Round:   core.Round{Number: 3, ID: core.RoundID{Proposer: "n1", Seq: 4}},
+		State:   crdt.NewGCounter().Inc("n1", 2),
+		NextReq: 7,
+		NextSeq: 2,
+		Config: core.Config{
+			Epoch:   5,
+			Source:  "n2",
+			Members: []transport.NodeID{"n1", "n2", "n3", "n4"},
+		},
+	}
+	rec, err := FromSnapshot("cfg", snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Epoch != 5 || rec.Source != "n2" || len(rec.Members) != 4 {
+		t.Fatalf("record config = epoch %d source %q members %v", rec.Epoch, rec.Source, rec.Members)
+	}
+	back, err := DecodeRecord(EncodeRecord(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Config, snap.Config) {
+		t.Fatalf("config = %+v, want %+v", got.Config, snap.Config)
+	}
+}
+
+// TestDecodeAcceptsVersion1: a pre-reconfiguration (v1) snapshot file —
+// identical layout, no config section — still decodes, with a zero
+// config, so upgraded binaries recover directories written before the
+// format bump.
+func TestDecodeAcceptsVersion1(t *testing.T) {
+	rec := sampleRecord(t)
+	w := wire.NewWriter(256)
+	w.Fixed([]byte(magic))
+	w.Byte(versionNoConfig)
+	w.Str(rec.Key)
+	w.Varint(rec.Round.Number)
+	w.Str(string(rec.Round.ID.Proposer))
+	w.Uvarint(rec.Round.ID.Seq)
+	w.Uvarint(rec.NextReq)
+	w.Uvarint(rec.NextSeq)
+	wire.StateFrame{Kind: wire.StateFull, State: rec.State}.Append(w)
+	wire.StateFrame{Kind: wire.StateNone}.Append(w)
+	sum := sha256.Sum256(w.Bytes())
+	w.Fixed(sum[:])
+
+	got, err := DecodeRecord(w.Bytes())
+	if err != nil {
+		t.Fatalf("v1 record rejected: %v", err)
+	}
+	if got.Key != rec.Key || got.Round != rec.Round || got.NextReq != rec.NextReq {
+		t.Fatalf("v1 decode mismatch: got %+v want %+v", got, rec)
+	}
+	if got.Epoch != 0 || got.Source != "" || got.Members != nil {
+		t.Fatalf("v1 config should be zero, got epoch %d source %q members %v", got.Epoch, got.Source, got.Members)
+	}
+	snap, err := got.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Config.Epoch != 0 || len(snap.Config.Members) != 0 {
+		t.Fatalf("v1 snapshot config = %+v, want zero", snap.Config)
+	}
+}

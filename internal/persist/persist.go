@@ -33,7 +33,12 @@ const (
 	// version is the current snapshot format version. Decoders reject
 	// unknown versions: the format carries consensus metadata, and
 	// guessing at it would be a safety bug, not a compatibility feature.
-	version = 1
+	// Version 2 added the membership configuration section; version-1
+	// files (fixed membership, epoch 0) are still accepted.
+	version = 2
+	// versionNoConfig is the pre-reconfiguration format: identical except
+	// that no config section follows nextSeq.
+	versionNoConfig = 1
 	// suffix names snapshot files; everything else in the directory
 	// (including temp files from interrupted saves) is ignored on load.
 	suffix = ".snap"
@@ -48,20 +53,25 @@ type Record struct {
 	Round   core.Round
 	NextReq uint64
 	NextSeq uint64
-	State   []byte // crdt.Marshal encoding of the acceptor payload
-	Learned []byte // nil when equivalent to State (the common case)
+	Epoch   uint64   // membership config epoch (zero for v1 files)
+	Source  string   // proposer that minted the config
+	Members []string // the config's member set (nil for v1 files)
+	State   []byte   // crdt.Marshal encoding of the acceptor payload
+	Learned []byte   // nil when equivalent to State (the common case)
 }
 
 // EncodeRecord serializes a record:
 //
 //	magic "CRSNAP" | version u8 | key str | round (number varint,
 //	proposer str, seq uvarint) | nextReq uvarint | nextSeq uvarint |
-//	payload stateFrame | learned stateFrame | sha256[32]
+//	configFrame | payload stateFrame | learned stateFrame | sha256[32]
 //
-// The two state frames reuse the replica wire's state-frame codec
-// (internal/wire/state.go): the payload is a full frame, the learned
-// state a none frame when it equals the payload. The trailing SHA-256
-// covers every preceding byte.
+// The config frame (internal/wire/config.go) carries the membership
+// configuration the replica had adopted; version-1 files predate it and
+// decode with a zero config. The two state frames reuse the replica
+// wire's state-frame codec (internal/wire/state.go): the payload is a
+// full frame, the learned state a none frame when it equals the payload.
+// The trailing SHA-256 covers every preceding byte.
 func EncodeRecord(rec Record) []byte {
 	w := wire.NewWriter(len(rec.State) + len(rec.Learned) + len(rec.Key) + 64)
 	w.Fixed([]byte(magic))
@@ -72,6 +82,7 @@ func EncodeRecord(rec Record) []byte {
 	w.Uvarint(rec.Round.ID.Seq)
 	w.Uvarint(rec.NextReq)
 	w.Uvarint(rec.NextSeq)
+	wire.ConfigFrame{Epoch: rec.Epoch, Source: rec.Source, Members: rec.Members}.Append(w)
 	wire.StateFrame{Kind: wire.StateFull, State: rec.State}.Append(w)
 	learned := wire.StateFrame{Kind: wire.StateNone}
 	if rec.Learned != nil {
@@ -103,8 +114,9 @@ func DecodeRecord(p []byte) (Record, error) {
 	if string(body[:len(magic)]) != magic {
 		return Record{}, corruptf("bad magic %q", body[:len(magic)])
 	}
-	if v := body[len(magic)]; v != version {
-		return Record{}, corruptf("unsupported snapshot version %d (want %d)", v, version)
+	v := body[len(magic)]
+	if v != version && v != versionNoConfig {
+		return Record{}, corruptf("unsupported snapshot version %d (want %d or %d)", v, versionNoConfig, version)
 	}
 	r := wire.NewReader(body[len(magic)+1:])
 	rec := Record{Key: r.Str()}
@@ -113,6 +125,10 @@ func DecodeRecord(p []byte) (Record, error) {
 	rec.Round.ID.Seq = r.Uvarint()
 	rec.NextReq = r.Uvarint()
 	rec.NextSeq = r.Uvarint()
+	if v >= version {
+		cf := wire.ReadConfigFrame(r)
+		rec.Epoch, rec.Source, rec.Members = cf.Epoch, cf.Source, cf.Members
+	}
 	payload := wire.ReadStateFrame(r)
 	learned := wire.ReadStateFrame(r)
 	if err := r.Done(); err != nil {
@@ -146,7 +162,15 @@ func FromSnapshot(key string, snap core.Snapshot) (Record, error) {
 		Round:   snap.Round,
 		NextReq: snap.NextReq,
 		NextSeq: snap.NextSeq,
+		Epoch:   snap.Config.Epoch,
+		Source:  string(snap.Config.Source),
 		State:   raw,
+	}
+	if len(snap.Config.Members) > 0 {
+		rec.Members = make([]string, len(snap.Config.Members))
+		for i, m := range snap.Config.Members {
+			rec.Members[i] = string(m)
+		}
 	}
 	if snap.Learned != nil && snap.Learned != snap.State {
 		lraw, err := crdt.Marshal(snap.Learned)
@@ -175,6 +199,13 @@ func (rec Record) Snapshot() (core.Snapshot, error) {
 		State:   state,
 		NextReq: rec.NextReq,
 		NextSeq: rec.NextSeq,
+		Config:  core.Config{Epoch: rec.Epoch, Source: transport.NodeID(rec.Source)},
+	}
+	if len(rec.Members) > 0 {
+		snap.Config.Members = make([]transport.NodeID, len(rec.Members))
+		for i, m := range rec.Members {
+			snap.Config.Members[i] = transport.NodeID(m)
+		}
 	}
 	if rec.Learned != nil {
 		learned, err := crdt.Unmarshal(rec.Learned)

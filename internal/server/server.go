@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"crdtsmr/internal/cluster"
 	"crdtsmr/internal/core"
 	"crdtsmr/internal/crdt"
+	"crdtsmr/internal/transport"
 	"crdtsmr/internal/wire"
 )
 
@@ -41,6 +43,19 @@ type Options struct {
 	// would turn overload into unbounded latency for everyone.
 	// Default 4096.
 	MaxTotalInFlight int
+	// MemberAddrs maps replica IDs to the client-facing addresses they
+	// serve this protocol on. The "members" admin command returns it next
+	// to the member list, which is what lets a client refresh its endpoint
+	// set after a reconfiguration. Members without an entry are reported
+	// with an empty address. Optional; the map is copied.
+	MemberAddrs map[string]string
+	// RegisterPeer, when set, is invoked by the "member-add" admin command
+	// with the joiner's ID and replica-mesh address before the
+	// reconfiguration runs, so the local transport can dial a peer it was
+	// not configured with at boot (crdtsmrd wires this to TCP.AddPeer).
+	// Optional; without it, member-add only accepts peers the transport
+	// already knows.
+	RegisterPeer func(id, addr string) error
 }
 
 func (o Options) withDefaults() Options {
@@ -75,6 +90,12 @@ type Server struct {
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
 
+	// addrMu guards memberAddrs: the "member-add" admin command extends
+	// the registry at runtime when the operator supplies the joiner's
+	// client address.
+	addrMu      sync.Mutex
+	memberAddrs map[string]string
+
 	quit   chan struct{}
 	closed sync.Once
 	wg     sync.WaitGroup
@@ -95,12 +116,16 @@ type Server struct {
 func New(node *cluster.Node, opts Options) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		node:   node,
-		opts:   opts.withDefaults(),
-		ctx:    ctx,
-		cancel: cancel,
-		conns:  make(map[net.Conn]struct{}),
-		quit:   make(chan struct{}),
+		node:        node,
+		opts:        opts.withDefaults(),
+		ctx:         ctx,
+		cancel:      cancel,
+		conns:       make(map[net.Conn]struct{}),
+		memberAddrs: make(map[string]string, len(opts.MemberAddrs)),
+		quit:        make(chan struct{}),
+	}
+	for id, addr := range opts.MemberAddrs {
+		s.memberAddrs[id] = addr
 	}
 	s.seq.Store(uint64(time.Now().UnixNano()))
 	return s
@@ -391,13 +416,23 @@ func (s *Server) handle(req *wire.Request) *wire.Response {
 		resp.State = enc
 
 	case wire.OpAdmin:
-		return s.handleAdmin(req, resp)
+		return s.handleAdmin(ctx, req, resp)
 	}
 	return resp
 }
 
-func (s *Server) handleAdmin(req *wire.Request, resp *wire.Response) *wire.Response {
-	switch req.Cmd {
+// handleAdmin executes one admin command. The command string is a
+// space-separated word list: the verb, then its operands ("member-add n4
+// 10.0.0.4:7704 10.0.0.4:8704"). Membership commands run the
+// reconfiguration protocol on the local node and answer with the
+// resulting member list, so the caller learns the new epoch in the same
+// round trip.
+func (s *Server) handleAdmin(ctx context.Context, req *wire.Request, resp *wire.Response) *wire.Response {
+	words := strings.Fields(req.Cmd)
+	if len(words) == 0 {
+		return fail(resp, badRequestf("server: empty admin command"), true)
+	}
+	switch verb := words[0]; verb {
 	case "ping":
 		resp.Status = wire.StatusOK
 		resp.Payload = []byte("pong")
@@ -410,10 +445,84 @@ func (s *Server) handleAdmin(req *wire.Request, resp *wire.Response) *wire.Respo
 		}
 		resp.Status = wire.StatusOK
 		resp.Payload = w.Bytes()
+	case "members":
+		resp.Status = wire.StatusOK
+		resp.Payload = s.membersPayload()
+	case "member-add":
+		if len(words) < 2 || len(words) > 4 {
+			return fail(resp, badRequestf("server: usage: member-add <id> [mesh-addr] [client-addr]"), false)
+		}
+		id := transport.NodeID(words[1])
+		members := s.node.Members()
+		for _, m := range members {
+			if m == id {
+				return fail(resp, badRequestf("server: %s is already a member", id), false)
+			}
+		}
+		// "-" is the positional placeholder for "no mesh address" (so a
+		// client address can be given without one).
+		if len(words) >= 3 && words[2] != "-" && s.opts.RegisterPeer != nil {
+			if err := s.opts.RegisterPeer(words[1], words[2]); err != nil {
+				return fail(resp, fmt.Errorf("server: register peer %s: %w", id, err), false)
+			}
+		}
+		if err := s.node.Reconfigure(ctx, append(members, id)); err != nil {
+			return fail(resp, err, false)
+		}
+		if len(words) == 4 {
+			s.addrMu.Lock()
+			s.memberAddrs[words[1]] = words[3]
+			s.addrMu.Unlock()
+		}
+		resp.Status = wire.StatusOK
+		resp.Payload = s.membersPayload()
+	case "member-remove":
+		if len(words) != 2 {
+			return fail(resp, badRequestf("server: usage: member-remove <id>"), false)
+		}
+		id := transport.NodeID(words[1])
+		members := s.node.Members()
+		next := make([]transport.NodeID, 0, len(members))
+		for _, m := range members {
+			if m != id {
+				next = append(next, m)
+			}
+		}
+		if len(next) == len(members) {
+			return fail(resp, badRequestf("server: %s is not a member", id), false)
+		}
+		if len(next) == 0 {
+			return fail(resp, badRequestf("server: refusing to remove the last member"), false)
+		}
+		if err := s.node.Reconfigure(ctx, next); err != nil {
+			return fail(resp, err, false)
+		}
+		s.addrMu.Lock()
+		delete(s.memberAddrs, words[1])
+		s.addrMu.Unlock()
+		resp.Status = wire.StatusOK
+		resp.Payload = s.membersPayload()
 	default:
-		return fail(resp, badRequestf("server: unknown admin command %q", req.Cmd), true)
+		return fail(resp, badRequestf("server: unknown admin command %q", verb), true)
 	}
 	return resp
+}
+
+// membersPayload encodes the node's current configuration: the epoch,
+// then each member's ID and client-facing address (empty when the
+// registry has none).
+func (s *Server) membersPayload() []byte {
+	members := s.node.Members()
+	s.addrMu.Lock()
+	defer s.addrMu.Unlock()
+	w := wire.NewWriter(32 * (len(members) + 1))
+	w.Uvarint(s.node.Epoch())
+	w.Uvarint(uint64(len(members)))
+	for _, m := range members {
+		w.Str(string(m))
+		w.Str(s.memberAddrs[string(m)])
+	}
+	return w.Bytes()
 }
 
 // fail classifies err into a response status. The classification is what
@@ -432,6 +541,11 @@ func fail(resp *wire.Response, err error, readOnly bool) *wire.Response {
 	var bad errBadRequest
 	switch {
 	case errors.Is(err, cluster.ErrUnavailable):
+		resp.Status = wire.StatusUnavailable
+	case errors.Is(err, core.ErrNotMember):
+		// A joiner not yet reconfigured in, or a replica reconfigured out,
+		// refuses the command before running the protocol — provably not
+		// applied, so the client may fail over to a current member.
 		resp.Status = wire.StatusUnavailable
 	case errors.Is(err, cluster.ErrStopped),
 		errors.Is(err, core.ErrAborted),

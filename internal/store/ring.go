@@ -1,0 +1,87 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ring is a consistent-hash map from object keys to replication groups.
+// Each group projects vnodes points onto a 32-bit hash circle; a key is
+// owned by the group whose point follows the key's hash. Consistent
+// hashing is what makes rebalancing incremental: adding or removing one
+// group moves only the keys whose arc changed owner (≈ 1/groups of the
+// keyspace), never reshuffles everything the way modular hashing would.
+//
+// A Ring is immutable after construction: rebalancing builds a new ring
+// and migrates the keys whose owner differs between the two.
+type Ring struct {
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash  uint32
+	group string
+}
+
+// DefaultVnodes is the per-group vnode count used when NewRing is given
+// zero: enough points that group arcs interleave and load spreads, small
+// enough that ring construction stays trivial.
+const DefaultVnodes = 64
+
+// NewRing builds a ring over the given group names. Ties on the circle
+// (hash collisions between groups' vnodes) break deterministically by
+// group name, so every node computes the identical ring from the same
+// group list.
+func NewRing(groups []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	r := &Ring{points: make([]ringPoint, 0, len(groups)*vnodes)}
+	for _, g := range groups {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: fnv32(fmt.Sprintf("%s#%d", g, i)), group: g})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].group < r.points[j].group
+	})
+	return r
+}
+
+// Owner returns the group owning key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := fnv32(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the first point on the circle
+	}
+	return r.points[i].group
+}
+
+// Groups returns the distinct group names on the ring, sorted.
+func (r *Ring) Groups() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, p := range r.points {
+		if !seen[p.group] {
+			seen[p.group] = true
+			out = append(out, p.group)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}

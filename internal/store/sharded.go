@@ -1,0 +1,353 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"crdtsmr/internal/cluster"
+	"crdtsmr/internal/core"
+	"crdtsmr/internal/crdt"
+	"crdtsmr/internal/transport"
+)
+
+// Sharded is a keyspace spread over several replication groups by
+// consistent hashing. Each group is an independent cluster (its own
+// member set, its own per-key quorums); the ring decides which group owns
+// each key, and Rebalance moves ownership online when groups are added or
+// removed — per key, with a linearizable snapshot handoff, while every
+// other key keeps serving.
+//
+// Routing happens here, at the store layer: commands name a key, the ring
+// names the group, and the group's protocol provides per-key
+// linearizability exactly as before. Groups know nothing about each
+// other — the handoff is a client of both.
+type Sharded struct {
+	mesh *transport.Mesh
+
+	mu     sync.RWMutex
+	ring   *Ring
+	next   *Ring // non-nil while a rebalance is migrating keys
+	moved  map[string]bool
+	groups map[string]*Store
+	vnodes int
+
+	lockMu sync.Mutex
+	locks  map[string]*sync.RWMutex // per-key handoff gates
+
+	statMu sync.Mutex
+	stats  RebalanceStats // cumulative across every Rebalance
+}
+
+// RebalanceStats counts one (or, on Sharded.Stats, every) rebalance's
+// key movements.
+type RebalanceStats struct {
+	// Scanned is how many instantiated keys were examined.
+	Scanned int
+	// Moved is how many keys changed owner and were handed off.
+	Moved int
+	// Stayed is how many keys kept their owner (no handoff needed).
+	Stayed int
+}
+
+// GroupConfig names one replication group and its cluster configuration.
+type GroupConfig struct {
+	Name string
+	Cfg  cluster.Config
+}
+
+// NewSharded starts one cluster per group over the shared mesh and builds
+// the ring. Node IDs must be unique across groups (the mesh is one
+// namespace); every group must share Initial/InitialForKey so a key's
+// payload type is the same wherever it lands.
+func NewSharded(mesh *transport.Mesh, groups []GroupConfig, vnodes int) (*Sharded, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("store: sharded store needs at least one group")
+	}
+	s := &Sharded{
+		mesh:   mesh,
+		moved:  make(map[string]bool),
+		groups: make(map[string]*Store, len(groups)),
+		locks:  make(map[string]*sync.RWMutex),
+		vnodes: vnodes,
+	}
+	names := make([]string, 0, len(groups))
+	for _, g := range groups {
+		if _, dup := s.groups[g.Name]; dup {
+			s.Close()
+			return nil, fmt.Errorf("store: duplicate group %q", g.Name)
+		}
+		st, err := New(mesh, g.Cfg)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("store: group %q: %w", g.Name, err)
+		}
+		s.groups[g.Name] = st
+		names = append(names, g.Name)
+	}
+	s.ring = NewRing(names, vnodes)
+	return s, nil
+}
+
+// Group returns the named group's store, or nil.
+func (s *Sharded) Group(name string) *Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.groups[name]
+}
+
+// Owner returns the group currently serving key — the next ring's owner
+// once the key has been handed off mid-rebalance, the current ring's
+// otherwise.
+func (s *Sharded) Owner(key string) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ownerLocked(key)
+}
+
+func (s *Sharded) ownerLocked(key string) string {
+	if s.next != nil && s.moved[key] {
+		return s.next.Owner(key)
+	}
+	return s.ring.Owner(key)
+}
+
+func (s *Sharded) storeFor(key string) (*Store, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	g := s.ownerLocked(key)
+	st := s.groups[g]
+	if st == nil {
+		return nil, fmt.Errorf("store: no group owns key %q", key)
+	}
+	return st, nil
+}
+
+// keyGate returns the per-key handoff gate, creating it on first use.
+// Commands hold it shared; a handoff holds it exclusively for the brief
+// read-merge-redirect window, so a command can never slip between the
+// old group's final snapshot and the routing flip.
+func (s *Sharded) keyGate(key string) *sync.RWMutex {
+	s.lockMu.Lock()
+	defer s.lockMu.Unlock()
+	l, ok := s.locks[key]
+	if !ok {
+		l = &sync.RWMutex{}
+		s.locks[key] = l
+	}
+	return l
+}
+
+// Update applies a monotone update to key at its owning group, submitted
+// to the group replica the key hashes to (spreading proposer load).
+func (s *Sharded) Update(ctx context.Context, key string, fu crdt.Update) (core.UpdateStats, error) {
+	gate := s.keyGate(key)
+	gate.RLock()
+	defer gate.RUnlock()
+	st, err := s.storeFor(key)
+	if err != nil {
+		return core.UpdateStats{}, err
+	}
+	return st.Update(ctx, pickReplica(st, key), key, fu)
+}
+
+// Query learns a linearizable state of key from its owning group.
+func (s *Sharded) Query(ctx context.Context, key string) (crdt.State, core.QueryStats, error) {
+	gate := s.keyGate(key)
+	gate.RLock()
+	defer gate.RUnlock()
+	st, err := s.storeFor(key)
+	if err != nil {
+		return nil, core.QueryStats{}, err
+	}
+	return st.Query(ctx, pickReplica(st, key), key)
+}
+
+// pickReplica spreads keys across a group's replicas deterministically.
+func pickReplica(st *Store, key string) transport.NodeID {
+	ids := st.ids
+	return ids[int(fnv32(key))%len(ids)]
+}
+
+// AddGroup starts a new replication group over the shared mesh. The
+// group serves nothing until the next Rebalance assigns it arcs of the
+// ring and hands the affected keys off.
+func (s *Sharded) AddGroup(name string, cfg cluster.Config) error {
+	st, err := New(s.mesh, cfg)
+	if err != nil {
+		return fmt.Errorf("store: group %q: %w", name, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.groups[name]; dup {
+		st.Close()
+		return fmt.Errorf("store: duplicate group %q", name)
+	}
+	if s.next != nil {
+		st.Close()
+		return fmt.Errorf("store: rebalance in progress")
+	}
+	s.groups[name] = st
+	return nil
+}
+
+// RemoveGroup stops the named group. It must no longer own any arc of
+// the ring — call Rebalance after the group list changed and before
+// removing, so its keys were handed off.
+func (s *Sharded) RemoveGroup(name string) error {
+	s.mu.Lock()
+	st, ok := s.groups[name]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("store: unknown group %q", name)
+	}
+	if s.next != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("store: rebalance in progress")
+	}
+	for _, g := range s.ring.Groups() {
+		if g == name {
+			s.mu.Unlock()
+			return fmt.Errorf("store: group %q still owns ring arcs; rebalance first", name)
+		}
+	}
+	delete(s.groups, name)
+	s.mu.Unlock()
+	st.Close()
+	return nil
+}
+
+// Rebalance recomputes the ring over the given group list (every name
+// must be a started group) and migrates each key whose owner changed,
+// one at a time: the key's gate closes, a linearizable query captures
+// everything the old group ever acknowledged for the key, a merge update
+// commits that state on the new group's quorum, and the gate reopens
+// with routing flipped — the redirect. Keys whose owner is unchanged,
+// and every other key between handoffs, keep serving throughout. The
+// moved/stayed counts are returned and accumulated on Stats.
+//
+// An error aborts the migration with the keys moved so far serving from
+// their new owner and the rest from their old one — safe (routing is
+// per-key and each handoff is atomic behind its gate) but lopsided;
+// rerunning Rebalance resumes where it stopped, since already-moved keys
+// hash to their new owner under both rings.
+func (s *Sharded) Rebalance(ctx context.Context, groupNames []string) (RebalanceStats, error) {
+	s.mu.Lock()
+	if s.next != nil {
+		s.mu.Unlock()
+		return RebalanceStats{}, fmt.Errorf("store: rebalance already in progress")
+	}
+	for _, g := range groupNames {
+		if _, ok := s.groups[g]; !ok {
+			s.mu.Unlock()
+			return RebalanceStats{}, fmt.Errorf("store: unknown group %q", g)
+		}
+	}
+	next := NewRing(groupNames, s.vnodes)
+	s.next = next
+	s.moved = make(map[string]bool)
+	old := s.ring
+	s.mu.Unlock()
+
+	var stats RebalanceStats
+	finish := func() {
+		s.mu.Lock()
+		s.ring = next
+		s.next = nil
+		s.moved = make(map[string]bool)
+		s.mu.Unlock()
+		s.statMu.Lock()
+		s.stats.Scanned += stats.Scanned
+		s.stats.Moved += stats.Moved
+		s.stats.Stayed += stats.Stayed
+		s.statMu.Unlock()
+	}
+
+	for _, key := range s.allKeys() {
+		stats.Scanned++
+		from, to := old.Owner(key), next.Owner(key)
+		if from == to {
+			stats.Stayed++
+			continue
+		}
+		if err := s.handoff(ctx, key, from, to); err != nil {
+			finish()
+			return stats, fmt.Errorf("store: handoff %q %s→%s: %w", key, from, to, err)
+		}
+		stats.Moved++
+	}
+	finish()
+	return stats, nil
+}
+
+// handoff moves one key: snapshot from the old owner, merge into the new
+// one, redirect. The key's gate is held exclusively, so no command is in
+// flight at the old group past the snapshot.
+func (s *Sharded) handoff(ctx context.Context, key, from, to string) error {
+	gate := s.keyGate(key)
+	gate.Lock()
+	defer gate.Unlock()
+	s.mu.RLock()
+	src, dst := s.groups[from], s.groups[to]
+	s.mu.RUnlock()
+	if src == nil || dst == nil {
+		return fmt.Errorf("group missing (from=%v to=%v)", src != nil, dst != nil)
+	}
+	snap, _, err := src.Query(ctx, pickReplica(src, key), key)
+	if err != nil {
+		return fmt.Errorf("snapshot query: %w", err)
+	}
+	_, err = dst.Update(ctx, pickReplica(dst, key), key, func(st crdt.State) (crdt.State, error) {
+		return st.Merge(snap)
+	})
+	if err != nil {
+		return fmt.Errorf("merge update: %w", err)
+	}
+	s.mu.Lock()
+	s.moved[key] = true
+	s.mu.Unlock()
+	return nil
+}
+
+// allKeys is the union of every group's instantiated keys. The old
+// owner's copy of a moved key stays instantiated (and inert — nothing
+// routes to it), so later rebalances judge ownership by ring position
+// alone, which already-moved keys satisfy under both rings.
+func (s *Sharded) allKeys() []string {
+	s.mu.RLock()
+	groups := make([]*Store, 0, len(s.groups))
+	for _, st := range s.groups {
+		groups = append(groups, st)
+	}
+	s.mu.RUnlock()
+	seen := make(map[string]bool)
+	var keys []string
+	for _, st := range groups {
+		for _, k := range st.AllKeys() {
+			if k == "" {
+				continue // every node's eager default object, never routed here
+			}
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	return keys
+}
+
+// Stats returns the cumulative rebalance counters.
+func (s *Sharded) Stats() RebalanceStats {
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	return s.stats
+}
+
+// Close stops every group.
+func (s *Sharded) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, st := range s.groups {
+		st.Close()
+	}
+}

@@ -1,0 +1,199 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"crdtsmr/internal/cluster"
+	"crdtsmr/internal/core"
+	"crdtsmr/internal/crdt"
+	"crdtsmr/internal/transport"
+)
+
+func incBy(slot string, n uint64) crdt.Update {
+	return func(s crdt.State) (crdt.State, error) {
+		return s.(*crdt.GCounter).Inc(slot, n), nil
+	}
+}
+
+func groupCfg(prefix string) cluster.Config {
+	return cluster.Config{
+		Members: []transport.NodeID{
+			transport.NodeID(prefix + "-a"),
+			transport.NodeID(prefix + "-b"),
+			transport.NodeID(prefix + "-c"),
+		},
+		Initial:            crdt.NewGCounter(),
+		Options:            core.DefaultOptions(),
+		RetransmitInterval: 20 * time.Millisecond,
+	}
+}
+
+// TestRingIncrementalMovement pins the property the consistent-hash ring
+// exists for: adding one group to three moves roughly a quarter of the
+// keyspace and never moves a key between two groups that were both
+// present before and after.
+func TestRingIncrementalMovement(t *testing.T) {
+	before := NewRing([]string{"g1", "g2", "g3"}, 0)
+	after := NewRing([]string{"g1", "g2", "g3", "g4"}, 0)
+	const n = 4096
+	movedToNew, movedBetweenOld := 0, 0
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key/%d", i)
+		a, b := before.Owner(key), after.Owner(key)
+		if a == b {
+			continue
+		}
+		if b == "g4" {
+			movedToNew++
+		} else {
+			movedBetweenOld++
+		}
+	}
+	if movedBetweenOld != 0 {
+		t.Fatalf("%d keys moved between pre-existing groups; consistent hashing must only move keys to the new group", movedBetweenOld)
+	}
+	if movedToNew < n/8 || movedToNew > n/2 {
+		t.Fatalf("%d/%d keys moved to the new group, want roughly 1/4", movedToNew, n)
+	}
+	if got := before.Owner("k"); got != before.Owner("k") {
+		t.Fatal("Owner must be deterministic")
+	}
+	if empty := (&Ring{}).Owner("k"); empty != "" {
+		t.Fatalf("empty ring owner = %q, want empty", empty)
+	}
+}
+
+// TestShardedRebalanceHandoff: grow a 2-group sharded store to 3 groups
+// under a live workload. Every acknowledged increment must be readable
+// after the rebalance — the per-key handoff (linearizable snapshot from
+// the old group, merge into the new, redirect) can never lose an acked
+// op, including ops racing the handoff itself — and the moved-key
+// counters must account for every scanned key.
+func TestShardedRebalanceHandoff(t *testing.T) {
+	mesh := transport.NewMesh(transport.WithSeed(9))
+	defer mesh.Close()
+	s, err := NewSharded(mesh, []GroupConfig{
+		{Name: "g1", Cfg: groupCfg("g1")},
+		{Name: "g2", Cfg: groupCfg("g2")},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	const nKeys = 24
+	acked := make([]int, nKeys)
+	for k := 0; k < nKeys; k++ {
+		key := fmt.Sprintf("obj/%d", k)
+		if _, err := s.Update(ctx, key, incBy("w", 1)); err != nil {
+			t.Fatalf("seed update %s: %v", key, err)
+		}
+		acked[k]++
+	}
+
+	if err := s.AddGroup("g3", groupCfg("g3")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Writers race the rebalance: each key takes more increments while
+	// ownership may be moving under it.
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for k := 0; k < nKeys; k++ {
+		k := k
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			key := fmt.Sprintf("obj/%d", k)
+			for i := 0; i < 3; i++ {
+				if _, err := s.Update(ctx, key, incBy("w", 1)); err != nil {
+					t.Errorf("racing update %s: %v", key, err)
+					return
+				}
+				mu.Lock()
+				acked[k]++
+				mu.Unlock()
+			}
+		}()
+	}
+	stats, err := s.Rebalance(ctx, []string{"g1", "g2", "g3"})
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("rebalance: %v", err)
+	}
+	if stats.Moved == 0 {
+		t.Fatalf("rebalance moved no keys out of %d scanned; adding a group must claim arcs", stats.Scanned)
+	}
+	if stats.Moved+stats.Stayed != stats.Scanned {
+		t.Fatalf("stats don't add up: %+v", stats)
+	}
+	if got := s.Stats(); got.Moved != stats.Moved {
+		t.Fatalf("cumulative stats = %+v, want Moved %d", got, stats.Moved)
+	}
+
+	// Every key now routes by the new ring, some to g3, and no increment
+	// was lost.
+	sawG3 := false
+	for k := 0; k < nKeys; k++ {
+		key := fmt.Sprintf("obj/%d", k)
+		if s.Owner(key) == "g3" {
+			sawG3 = true
+		}
+		st, _, err := s.Query(ctx, key)
+		if err != nil {
+			t.Fatalf("query %s after rebalance: %v", key, err)
+		}
+		if got := st.(*crdt.GCounter).Value(); got != uint64(acked[k]) {
+			t.Fatalf("key %s = %d after rebalance, want %d acked (handoff lost ops)", key, got, acked[k])
+		}
+	}
+	if !sawG3 {
+		t.Fatal("no key routed to the new group after rebalance")
+	}
+
+	// Shrink back: rebalance g3's arcs away, then the group can go.
+	stats, err = s.Rebalance(ctx, []string{"g1", "g2"})
+	if err != nil {
+		t.Fatalf("shrink rebalance: %v", err)
+	}
+	if err := s.RemoveGroup("g3"); err != nil {
+		t.Fatalf("remove g3: %v", err)
+	}
+	for k := 0; k < nKeys; k++ {
+		key := fmt.Sprintf("obj/%d", k)
+		st, _, err := s.Query(ctx, key)
+		if err != nil {
+			t.Fatalf("query %s after shrink: %v", key, err)
+		}
+		if got := st.(*crdt.GCounter).Value(); got != uint64(acked[k]) {
+			t.Fatalf("key %s = %d after shrink, want %d", key, got, acked[k])
+		}
+	}
+}
+
+// TestRemoveGroupRefusesWhileOwning: a group still holding ring arcs
+// cannot be removed — dropping it would orphan its keys.
+func TestRemoveGroupRefusesWhileOwning(t *testing.T) {
+	mesh := transport.NewMesh()
+	defer mesh.Close()
+	s, err := NewSharded(mesh, []GroupConfig{
+		{Name: "g1", Cfg: groupCfg("g1")},
+		{Name: "g2", Cfg: groupCfg("g2")},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.RemoveGroup("g2"); err == nil {
+		t.Fatal("RemoveGroup succeeded while g2 owns ring arcs")
+	}
+	if err := s.RemoveGroup("nope"); err == nil {
+		t.Fatal("RemoveGroup of unknown group succeeded")
+	}
+}

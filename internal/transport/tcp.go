@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -74,6 +75,49 @@ func NewTCP(id NodeID, listenAddr string, peers map[NodeID]string, h Handler) (*
 
 // Addr returns the listener address (useful with ":0" listeners).
 func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// helloMagic opens a transport-level handshake frame: the first frame a
+// dialer writes on a new connection advertises its own listener address,
+// so the receiver learns a dial-back path to peers its address book
+// never contained — a joiner admitted after this endpoint started would
+// otherwise be able to reach everyone while nobody could answer it. The
+// leading zero byte cannot open a valid object envelope, so a receiver
+// without the intercept drops the frame as malformed and the handshake
+// degrades to the old behaviour.
+var helloMagic = []byte("\x00crdtsmr-hello\x00")
+
+// learnPeer records the dial-back address an inbound connection's hello
+// frame advertised. A listener bound to an unspecified host (":port",
+// "0.0.0.0", "::") advertises an undialable address; the host the
+// connection actually came from replaces it.
+func (t *TCP) learnPeer(from NodeID, addr string, conn net.Conn) {
+	if from == "" || from == t.id || addr == "" {
+		return
+	}
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return
+	}
+	ip := net.ParseIP(host)
+	if host == "" || (ip != nil && ip.IsUnspecified()) {
+		rhost, _, err := net.SplitHostPort(conn.RemoteAddr().String())
+		if err != nil {
+			return
+		}
+		addr = net.JoinHostPort(rhost, port)
+	}
+	t.AddPeer(from, addr)
+}
+
+// AddPeer registers (or re-addresses) a dialable peer at runtime, so a
+// node can reach a member that joined after this endpoint was
+// constructed. An existing connection to the peer is kept; the new
+// address applies from the next (re)dial.
+func (t *TCP) AddPeer(to NodeID, addr string) {
+	t.mu.Lock()
+	t.peers[to] = addr
+	t.mu.Unlock()
+}
 
 // ID implements Conn.
 func (t *TCP) ID() NodeID { return t.id }
@@ -167,6 +211,14 @@ func (t *TCP) peer(to NodeID) (*tcpPeer, error) {
 		return nil, fmt.Errorf("transport: dial %s: %w", to, err)
 	}
 	p := &tcpPeer{conn: conn, bw: bufio.NewWriter(conn)}
+	// Advertise this node's listener before any payload: the remote may
+	// have started without this node in its address book, and replies it
+	// sends are dropped until it learns where to dial.
+	hello := append(append(make([]byte, 0, len(helloMagic)+len(t.Addr())), helloMagic...), t.Addr()...)
+	if err := p.write(t.id, hello); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("transport: hello %s: %w", to, err)
+	}
 	t.mu.Lock()
 	if existing, ok := t.conns[to]; ok {
 		t.mu.Unlock()
@@ -267,6 +319,10 @@ func (t *TCP) readLoop(conn net.Conn) {
 		}
 		from := NodeID(frame[n : n+int(fromLen)])
 		payload := frame[n+int(fromLen):]
+		if bytes.HasPrefix(payload, helloMagic) {
+			t.learnPeer(from, string(payload[len(helloMagic):]), conn)
+			continue
+		}
 		t.delivered.Add(1)
 		t.bytes.Add(uint64(len(payload)))
 		t.links.delivered(from, t.id, len(payload))

@@ -370,7 +370,7 @@ func TestTCPBidirectional(t *testing.T) {
 	}
 	defer a.Close()
 	// b learns a's address after a is up (address books can be asymmetric).
-	b.peers["a"] = a.Addr()
+	b.AddPeer("a", a.Addr())
 
 	for i := 0; i < 50; i++ {
 		a.Send("b", []byte(fmt.Sprintf("to-b-%d", i)))
@@ -388,6 +388,83 @@ func TestTCPSelfSend(t *testing.T) {
 	defer a.Close()
 	a.Send("a", []byte("self"))
 	waitFor(t, func() bool { return got.len() == 1 })
+}
+
+// TestTCPAddPeer: an endpoint constructed without a peer reaches it once
+// AddPeer registers the address at runtime — the path a running replica
+// takes when a member joins after boot.
+func TestTCPAddPeer(t *testing.T) {
+	var gotB collect
+	b, err := NewTCP("b", "127.0.0.1:0", nil, gotB.handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a, err := NewTCP("a", "127.0.0.1:0", nil, gotB.handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	a.Send("b", []byte("early"))
+	if st := a.Stats(); st.Dropped != 1 {
+		t.Fatalf("send before AddPeer: stats = %+v, want 1 drop", st)
+	}
+	a.AddPeer("b", b.Addr())
+	a.Send("b", []byte("late"))
+	waitFor(t, func() bool { return gotB.len() == 1 })
+}
+
+// TestTCPHelloLearnsDialBack: an endpoint whose address book never
+// contained a peer learns the dial-back path from the hello frame the
+// peer's own dial advertises — the joiner scenario, where a freshly
+// admitted member can dial every configured peer but none of them was
+// configured with it, so without the hello their replies are dropped
+// forever and the joiner's quorums never complete.
+func TestTCPHelloLearnsDialBack(t *testing.T) {
+	var gotA, gotB collect
+	b, err := NewTCP("b", "127.0.0.1:0", nil, gotB.handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a, err := NewTCP("a", "127.0.0.1:0", map[NodeID]string{"b": b.Addr()}, gotA.handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	a.Send("b", []byte("request"))
+	waitFor(t, func() bool { return gotB.len() == 1 })
+	// b never ran AddPeer("a", ...): the reply is deliverable only if the
+	// hello on a's dial taught b where a listens.
+	b.Send("a", []byte("reply"))
+	waitFor(t, func() bool { return gotA.len() == 1 })
+	if st := b.Stats(); st.Dropped != 0 {
+		t.Fatalf("reply was dropped: stats = %+v", st)
+	}
+}
+
+// TestTCPHelloUnspecifiedHost: a listener bound to an unspecified host
+// advertises an undialable address (":port"); the receiver substitutes
+// the host the connection actually came from.
+func TestTCPHelloUnspecifiedHost(t *testing.T) {
+	var gotA, gotB collect
+	b, err := NewTCP("b", "127.0.0.1:0", nil, gotB.handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a, err := NewTCP("a", ":0", map[NodeID]string{"b": b.Addr()}, gotA.handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	a.Send("b", []byte("request"))
+	waitFor(t, func() bool { return gotB.len() == 1 })
+	b.Send("a", []byte("reply"))
+	waitFor(t, func() bool { return gotA.len() == 1 })
 }
 
 func TestTCPSendToUnknownPeerDrops(t *testing.T) {

@@ -1,0 +1,34 @@
+package wire
+
+// ConfigFrame is the membership section of the replica wire's RECONFIG
+// and EPOCH-NACK frames (docs/PROTOCOL.md §6): the configuration epoch,
+// the proposer that minted it, and the member set. Layout:
+//
+//	epoch uvarint | source str | count uvarint | member str ...
+type ConfigFrame struct {
+	Epoch   uint64
+	Source  string
+	Members []string
+}
+
+// Append serializes the frame.
+func (c ConfigFrame) Append(w *Writer) {
+	w.Uvarint(c.Epoch)
+	w.Str(c.Source)
+	w.Uvarint(uint64(len(c.Members)))
+	for _, m := range c.Members {
+		w.Str(m)
+	}
+}
+
+// ReadConfigFrame parses a frame produced by Append. Errors are recorded
+// on the reader; the member list is built incrementally, so a corrupt
+// count cannot force a huge allocation.
+func ReadConfigFrame(r *Reader) ConfigFrame {
+	c := ConfigFrame{Epoch: r.Uvarint(), Source: r.Str()}
+	n := r.Uvarint()
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		c.Members = append(c.Members, r.Str())
+	}
+	return c
+}
